@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: uniform
+ * argument handling (key=value overrides) and evaluation-run
+ * wrappers so every figure uses the same methodology (§5).
+ */
+
+#ifndef UMANY_BENCH_COMMON_HH
+#define UMANY_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "arch/presets.hh"
+#include "driver/experiment.hh"
+#include "driver/report.hh"
+#include "sim/config.hh"
+#include "sim/logging.hh"
+#include "stats/table.hh"
+#include "workload/app_graph.hh"
+
+namespace umany::bench
+{
+
+/** Common run-shape options every bench accepts on argv. */
+struct BenchArgs
+{
+    Config cfg;
+    std::uint32_t servers = 10;
+    Tick warmup = fromMs(30.0);
+    Tick measure = fromMs(450.0);
+    std::uint64_t seed = 0x5eedull;
+
+    void
+    parse(int argc, char **argv)
+    {
+        cfg.parseArgs(argc, argv);
+        servers = static_cast<std::uint32_t>(
+            cfg.getInt("servers", servers));
+        warmup = fromMs(cfg.getDouble("warmup_ms", toMs(warmup)));
+        measure = fromMs(cfg.getDouble("measure_ms", toMs(measure)));
+        seed = static_cast<std::uint64_t>(
+            cfg.getInt("seed", static_cast<std::int64_t>(seed)));
+    }
+};
+
+/** Build an evaluation-config for one machine at one load. */
+inline ExperimentConfig
+evalConfig(const MachineParams &machine, double rps_per_server,
+           const BenchArgs &args, ArrivalKind arrivals)
+{
+    ExperimentConfig cfg;
+    cfg.machine = machine;
+    cfg.cluster.numServers = args.servers;
+    cfg.rpsPerServer = rps_per_server;
+    cfg.arrivals = arrivals;
+    cfg.warmup = args.warmup;
+    cfg.measure = args.measure;
+    cfg.seed = args.seed;
+    return cfg;
+}
+
+/** Print a banner shared by all benches. */
+inline void
+banner(const char *fig, const char *what)
+{
+    std::printf("############################################\n");
+    std::printf("# %s: %s\n", fig, what);
+    std::printf("############################################\n\n");
+}
+
+} // namespace umany::bench
+
+#endif // UMANY_BENCH_COMMON_HH

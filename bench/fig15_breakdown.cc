@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig 15 reproduction: contributions of the four μManycore
+ * techniques to tail-latency reduction at 15K RPS, applied
+ * cumulatively over ScaleOut: villages, leaf-spine ICN, hardware
+ * scheduling, hardware context switching.
+ *
+ * Paper shape: cumulative reductions of 1.1x, 2.3x, 3.9x, 7.4x —
+ * every step helps, hardware context switching the most, villages
+ * the least (their win is area/power, not latency).
+ */
+
+#include "bench/common.hh"
+
+using namespace umany;
+using namespace umany::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args;
+    args.parse(argc, argv);
+    setInformEnabled(false);
+    const double rps = args.cfg.getDouble("rps", 15000.0);
+
+    banner("Fig 15", "tail-latency reduction breakdown at 15K RPS");
+
+    const ServiceCatalog catalog = buildSocialNetwork();
+    const std::vector<std::pair<std::string, MachineParams>> ladder = {
+        {"ScaleOut", scaleOutParams()},
+        {"+villages", ablationVillages()},
+        {"+leaf-spine", ablationLeafSpine()},
+        {"+hw-sched", ablationHwSched()},
+        {"+hw-cs (uManycore)", ablationHwCs()},
+    };
+
+    std::vector<RunMetrics> runs;
+    for (const auto &[name, mp] : ladder) {
+        std::fprintf(stderr, "running %s...\n", name.c_str());
+        runs.push_back(runExperiment(
+            catalog, evalConfig(mp, rps, args, ArrivalKind::Bursty)));
+    }
+
+    Table t({"configuration", "P99 (ms)", "cumulative reduction",
+             "paper"});
+    const char *paper[5] = {"1.0", "1.1", "2.3", "3.9", "7.4"};
+    for (std::size_t i = 0; i < ladder.size(); ++i) {
+        const double base = runs[0].overall.p99Ms;
+        const double cur = runs[i].overall.p99Ms;
+        t.addRow({ladder[i].first, Table::num(cur, 3),
+                  Table::num(cur > 0.0 ? base / cur : 0.0),
+                  paper[i]});
+    }
+    std::printf("%s\n", t.format().c_str());
+
+    // Per-app detail for the final configuration.
+    printNormalizedByApp(
+        "Fig 15 detail: per-app tail, ScaleOut vs full uManycore",
+        {"ScaleOut", "uManycore"}, {runs.front(), runs.back()},
+        [](const LatencyStats &s) { return s.p99Ms; }, "ms");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Microbenchmarks of the simulation kernel: event scheduling and
+ * dispatch throughput — the bound on overall simulator speed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace
+{
+
+void
+BM_ScheduleAndDrain(benchmark::State &state)
+{
+    const std::int64_t n = state.range(0);
+    for (auto _ : state) {
+        umany::EventQueue eq;
+        for (std::int64_t i = 0; i < n; ++i)
+            eq.schedule(static_cast<umany::Tick>(i), []() {});
+        eq.run();
+        benchmark::DoNotOptimize(eq.dispatched());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScheduleAndDrain)->Arg(1024)->Arg(65536);
+
+void
+BM_RandomOrderDispatch(benchmark::State &state)
+{
+    const std::int64_t n = state.range(0);
+    umany::Rng rng(1);
+    for (auto _ : state) {
+        umany::EventQueue eq;
+        for (std::int64_t i = 0; i < n; ++i) {
+            eq.schedule(rng.below(1000000), []() {});
+        }
+        eq.run();
+        benchmark::DoNotOptimize(eq.dispatched());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RandomOrderDispatch)->Arg(65536);
+
+void
+BM_SelfRescheduling(benchmark::State &state)
+{
+    // The common simulator pattern: one event chain rescheduling
+    // itself (e.g. a load generator).
+    for (auto _ : state) {
+        umany::EventQueue eq;
+        std::uint64_t count = 0;
+        std::function<void()> tick = [&]() {
+            if (++count < 10000)
+                eq.scheduleAfter(10, tick);
+        };
+        eq.schedule(0, tick);
+        eq.run();
+        benchmark::DoNotOptimize(count);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SelfRescheduling);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,277 @@
+#include "arch/cluster_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+ClusterSim::ClusterSim(EventQueue &eq, const ServiceCatalog &catalog,
+                       const MachineParams &machine,
+                       const ClusterSimParams &p)
+    : eq_(eq), catalog_(catalog), p_(p), rng_(p.seed)
+{
+    if (p_.numServers == 0)
+        fatal("cluster needs at least one server");
+
+    InterServerParams isp = p_.interServer;
+    isp.numServers = p_.numServers;
+    interServer_ = std::make_unique<InterServerNet>(isp);
+
+    servers_.reserve(p_.numServers);
+    for (ServerId s = 0; s < p_.numServers; ++s) {
+        servers_.push_back(std::make_unique<Server>(
+            eq, s, machine, p_.storage, rng_.next()));
+        wireServer(s);
+    }
+    placeInstances();
+    perEndpoint_.resize(catalog_.size());
+    qosThreshold_.assign(catalog_.size(), 0);
+}
+
+ClusterSim::~ClusterSim() = default;
+
+void
+ClusterSim::placeInstances()
+{
+    // Deterministic proportional placement: every service gets at
+    // least one instance on every server; remaining villages are
+    // apportioned by loadWeight. Services may share villages when
+    // villages are scarce (§4.1 allows colocated instances).
+    for (auto &srv : servers_) {
+        Machine &m = srv->machine();
+        const std::uint32_t num_villages = m.numVillages();
+        const std::size_t num_services = catalog_.size();
+
+        double total_weight = 0.0;
+        for (ServiceId s = 0; s < num_services; ++s)
+            total_weight += catalog_.at(s).loadWeight;
+
+        // Instances per service (>= 1 each).
+        std::vector<std::uint32_t> count(num_services, 1);
+        std::uint32_t assigned =
+            static_cast<std::uint32_t>(num_services);
+        if (num_villages > assigned) {
+            const std::uint32_t spare = num_villages - assigned;
+            for (ServiceId s = 0; s < num_services; ++s) {
+                const std::uint32_t extra =
+                    static_cast<std::uint32_t>(std::floor(
+                        catalog_.at(s).loadWeight / total_weight *
+                        spare));
+                count[s] += extra;
+                assigned += extra;
+            }
+            // Distribute the rounding remainder round-robin.
+            ServiceId s = 0;
+            while (assigned < num_villages) {
+                count[s % num_services] += 1;
+                ++assigned;
+                ++s;
+            }
+        }
+
+        // Interleave instances across villages so a cluster hosts a
+        // mix of services.
+        VillageId v = 0;
+        bool placed_any = true;
+        std::vector<std::uint32_t> left = count;
+        while (placed_any) {
+            placed_any = false;
+            for (ServiceId s = 0; s < num_services; ++s) {
+                if (left[s] == 0)
+                    continue;
+                left[s] -= 1;
+                m.installInstance(s, v % num_villages);
+                v += 1;
+                placed_any = true;
+            }
+        }
+
+        // Keep snapshots of local services in the cluster pools.
+        for (ClusterId c = 0; c < m.numClusters(); ++c) {
+            MemoryPool *pool = m.cluster(c).pool.get();
+            if (pool == nullptr)
+                continue;
+            for (const VillageId vid : m.cluster(c).villages) {
+                for (const ServiceId s : m.village(vid).services)
+                    pool->storeSnapshot(s,
+                                        catalog_.at(s).snapshotBytes);
+            }
+        }
+    }
+}
+
+void
+ClusterSim::wireServer(ServerId s)
+{
+    Machine &m = servers_[s]->machine();
+    m.onRootComplete = [this, s](ServiceRequest *req) {
+        handleRootComplete(s, req);
+    };
+    m.onStorageCall = [this, s](ServiceRequest *parent,
+                                const CallStep &step) {
+        handleStorageCall(s, parent, step);
+    };
+    m.onServiceCall = [this, s](ServiceRequest *parent,
+                                const CallStep &step) {
+        handleServiceCall(s, parent, step);
+    };
+    m.onRemoteChildFinished = [this, s](ServiceRequest *child) {
+        handleRemoteChildFinished(s, child);
+    };
+    m.onChildConsumed = [this](ServiceRequest *child) {
+        destroy(child);
+    };
+}
+
+ServiceRequest *
+ClusterSim::makeRequest(ServiceId service, ServiceRequest *parent)
+{
+    const RequestId id = nextId_++;
+    auto req = std::make_unique<ServiceRequest>(
+        id, service, catalog_.makeBehavior(service, rng_));
+    req->parent = parent;
+    req->createdAt = eq_.now();
+    ServiceRequest *raw = req.get();
+    requests_.emplace(id, std::move(req));
+    return raw;
+}
+
+void
+ClusterSim::destroy(ServiceRequest *req)
+{
+    // §3.3 accounting: where each service request's lifetime went.
+    if (recording_ && !req->rejected &&
+        req->state == ReqState::Finished) {
+        const double queued = toUs(req->queuedTime);
+        const double blocked = toUs(req->blockedTime);
+        const double running = toUs(req->runningTime);
+        queuedUs_.add(queued);
+        blockedUs_.add(blocked);
+        runningUs_.add(running);
+        const double total = queued + blocked + running;
+        if (total > 0.0)
+            reqUtil_.add(running / total);
+    }
+    requests_.erase(req->id());
+}
+
+void
+ClusterSim::submitRoot(ServiceId endpoint)
+{
+    ServiceRequest *req = makeRequest(endpoint, nullptr);
+    req->rootEndpoint = endpoint;
+    req->reqBytes = 512;
+    req->respBytes = 2048;
+
+    const ServerId target = rrServer_++ % servers_.size();
+    const Tick arrive =
+        eq_.now() +
+        servers_[target]->machine().topNic().params().extLatency;
+    eq_.schedule(arrive, [this, req, target]() {
+        servers_[target]->machine().externalArrival(req);
+    });
+}
+
+void
+ClusterSim::handleRootComplete(ServerId, ServiceRequest *req)
+{
+    const Tick latency = eq_.now() - req->createdAt;
+    if (recording_) {
+        ++observedRoots_;
+        if (req->rejected) {
+            ++rejectedRoots_;
+        } else {
+            ++completedRoots_;
+            perEndpoint_[req->rootEndpoint].add(latency);
+            allLatency_.add(latency);
+            const Tick threshold = qosThreshold_[req->rootEndpoint];
+            if (threshold != 0 && latency > threshold)
+                ++qosViolations_;
+        }
+    }
+    destroy(req);
+}
+
+void
+ClusterSim::handleStorageCall(ServerId s, ServiceRequest *parent,
+                              const CallStep &step)
+{
+    // Called when the access reaches the storage tier; completion
+    // returns over the external network to the parent's package.
+    StorageBackend &storage = servers_[s]->storage();
+    const Tick done = storage.request(eq_.now());
+    const Tick back =
+        done +
+        servers_[s]->machine().topNic().params().extLatency;
+    const std::uint32_t bytes = step.responseBytes;
+    eq_.schedule(back, [this, s, parent, bytes]() {
+        servers_[s]->machine().externalResponse(parent, bytes);
+    });
+}
+
+void
+ClusterSim::handleServiceCall(ServerId s, ServiceRequest *parent,
+                              const CallStep &step)
+{
+    // Resolve placement: stay local with probability localCallBias
+    // (an instance exists on every server by construction).
+    ServerId target = s;
+    if (servers_.size() > 1 && !rng_.chance(p_.localCallBias)) {
+        target = static_cast<ServerId>(
+            rng_.below(servers_.size() - 1));
+        if (target >= s)
+            ++target;
+    }
+
+    ServiceRequest *child = makeRequest(step.callee, parent);
+    child->reqBytes = step.requestBytes;
+    child->respBytes = step.responseBytes;
+
+    Machine &src = servers_[s]->machine();
+    if (target == s) {
+        src.localCall(child, parent->village);
+        return;
+    }
+
+    child->server = target;
+    src.outboundRequest(child, parent->village, [this, s, target,
+                                                 child]() {
+        const Tick arrive = interServer_->send(
+            s, target, child->reqBytes, eq_.now());
+        eq_.schedule(arrive, [this, target, child]() {
+            servers_[target]->machine().externalArrival(child);
+        });
+    });
+}
+
+void
+ClusterSim::handleRemoteChildFinished(ServerId s,
+                                      ServiceRequest *child)
+{
+    ServiceRequest *parent = child->parent;
+    const ServerId home = parent->server;
+    const std::uint32_t bytes = child->respBytes;
+    const Tick arrive =
+        interServer_->send(s, home, bytes, eq_.now());
+    eq_.schedule(arrive, [this, home, parent, bytes]() {
+        servers_[home]->machine().externalResponse(parent, bytes);
+    });
+    destroy(child);
+}
+
+void
+ClusterSim::setQosThreshold(ServiceId endpoint, Tick threshold)
+{
+    qosThreshold_[endpoint] = threshold;
+}
+
+const Histogram &
+ClusterSim::endpointLatency(ServiceId endpoint) const
+{
+    return perEndpoint_[endpoint];
+}
+
+} // namespace umany

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * ClusterSim: the N-server deployment the evaluation models (§5) —
+ * servers with identical machines, a 1 μs / 200 GB/s inter-server
+ * fabric, service-instance placement across villages and servers,
+ * request routing (local-vs-remote downstream calls), and
+ * end-to-end latency recording.
+ */
+
+#ifndef UMANY_ARCH_CLUSTER_SIM_HH
+#define UMANY_ARCH_CLUSTER_SIM_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/server.hh"
+#include "rpc/inter_server.hh"
+#include "stats/histogram.hh"
+#include "stats/summary.hh"
+#include "workload/service.hh"
+
+namespace umany
+{
+
+/** Cluster-level configuration. */
+struct ClusterSimParams
+{
+    std::uint32_t numServers = 10;
+    /** Probability a downstream call stays on the caller's server
+     *  when an instance exists there. */
+    double localCallBias = 0.7;
+    StorageParams storage;
+    InterServerParams interServer; //!< numServers is overridden.
+    std::uint64_t seed = 0x5ca1ab1eull;
+};
+
+/** The simulated server cluster. */
+class ClusterSim
+{
+  public:
+    ClusterSim(EventQueue &eq, const ServiceCatalog &catalog,
+               const MachineParams &machine,
+               const ClusterSimParams &p);
+    ~ClusterSim();
+
+    ClusterSim(const ClusterSim &) = delete;
+    ClusterSim &operator=(const ClusterSim &) = delete;
+
+    /**
+     * Submit one root request for @p endpoint (round-robin across
+     * servers), as the load generator's client would.
+     */
+    void submitRoot(ServiceId endpoint);
+
+    /** Enable/disable latency recording (off during warmup). */
+    void setRecording(bool on) { recording_ = on; }
+
+    /** Optional per-endpoint QoS thresholds (§6.5). */
+    void setQosThreshold(ServiceId endpoint, Tick threshold);
+
+    /** @name Metrics @{ */
+    const Histogram &endpointLatency(ServiceId endpoint) const;
+    const Histogram &allLatency() const { return allLatency_; }
+    /** @name Per-service-request time breakdown (§3.3). @{ */
+    const Summary &queuedTimeUs() const { return queuedUs_; }
+    const Summary &blockedTimeUs() const { return blockedUs_; }
+    const Summary &runningTimeUs() const { return runningUs_; }
+    /** running / (running+blocked+queued) per handler execution. */
+    const Summary &requestCpuUtilization() const { return reqUtil_; }
+    /** @} */
+    std::uint64_t completedRoots() const { return completedRoots_; }
+    std::uint64_t rejectedRoots() const { return rejectedRoots_; }
+    std::uint64_t qosViolations() const { return qosViolations_; }
+    std::uint64_t observedRoots() const { return observedRoots_; }
+    std::uint64_t requestsInFlight() const
+    {
+        return requests_.size();
+    }
+    /** @} */
+
+    std::uint32_t numServers() const
+    {
+        return static_cast<std::uint32_t>(servers_.size());
+    }
+    Machine &machine(ServerId s) { return servers_[s]->machine(); }
+    Server &server(ServerId s) { return *servers_[s]; }
+    const ServiceCatalog &catalog() const { return catalog_; }
+
+  private:
+    EventQueue &eq_;
+    const ServiceCatalog &catalog_;
+    ClusterSimParams p_;
+    Rng rng_;
+
+    std::vector<std::unique_ptr<Server>> servers_;
+    std::unique_ptr<InterServerNet> interServer_;
+
+    std::unordered_map<RequestId,
+                       std::unique_ptr<ServiceRequest>> requests_;
+    RequestId nextId_ = 1;
+    std::uint32_t rrServer_ = 0;
+
+    bool recording_ = true;
+    std::vector<Histogram> perEndpoint_; //!< Indexed by ServiceId.
+    Histogram allLatency_;
+    Summary queuedUs_;
+    Summary blockedUs_;
+    Summary runningUs_;
+    Summary reqUtil_;
+    std::vector<Tick> qosThreshold_;     //!< 0 == unset.
+    std::uint64_t completedRoots_ = 0;
+    std::uint64_t rejectedRoots_ = 0;
+    std::uint64_t qosViolations_ = 0;
+    std::uint64_t observedRoots_ = 0;
+
+    void placeInstances();
+    void wireServer(ServerId s);
+    ServiceRequest *makeRequest(ServiceId service,
+                                ServiceRequest *parent);
+    void destroy(ServiceRequest *req);
+
+    void handleRootComplete(ServerId s, ServiceRequest *req);
+    void handleStorageCall(ServerId s, ServiceRequest *parent,
+                           const CallStep &step);
+    void handleServiceCall(ServerId s, ServiceRequest *parent,
+                           const CallStep &step);
+    void handleRemoteChildFinished(ServerId s, ServiceRequest *child);
+};
+
+} // namespace umany
+
+#endif // UMANY_ARCH_CLUSTER_SIM_HH

@@ -1,0 +1,742 @@
+#include "arch/machine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "noc/fat_tree.hh"
+#include "noc/leaf_spine.hh"
+#include "noc/mesh.hh"
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+Machine::Machine(std::string name, EventQueue &eq,
+                 const MachineParams &p, ServerId self,
+                 std::uint64_t seed)
+    : SimObject(std::move(name), eq), p_(p), self_(self), rng_(seed),
+      coherence_(p.coherence)
+{
+    if (p_.numCores == 0 || p_.coresPerVillage == 0 ||
+        p_.villagesPerCluster == 0) {
+        fatal("machine '%s': structure parameters must be positive",
+              p_.name.c_str());
+    }
+    if (p_.numCores % (p_.coresPerVillage * p_.villagesPerCluster) !=
+        0) {
+        fatal("machine '%s': %u cores do not divide into %ux%u "
+              "villages/clusters",
+              p_.name.c_str(), p_.numCores, p_.coresPerVillage,
+              p_.villagesPerCluster);
+    }
+    buildTopology();
+    buildStructure();
+}
+
+Machine::~Machine() = default;
+
+void
+Machine::buildTopology()
+{
+    const std::uint32_t num_clusters =
+        p_.numCores / (p_.coresPerVillage * p_.villagesPerCluster);
+    const std::uint32_t epl =
+        p_.villagesPerCluster + (p_.hasMemoryPool ? 1 : 0);
+    const Tick hop =
+        cyc(static_cast<double>(p_.hopCycles));
+
+    switch (p_.topo) {
+      case MachineParams::Topo::LeafSpine: {
+        LeafSpineParams lp;
+        lp.numLeaves = num_clusters;
+        lp.podCount = num_clusters >= 32 ? 4
+                      : num_clusters >= 16 ? 2 : 1;
+        lp.spinesPerPod = 4;
+        lp.l3Count = lp.podCount > 1 ? 8 : 0;
+        if (lp.podCount == 1)
+            lp.l3Count = 1; // Degenerate single-pod config.
+        lp.endpointsPerLeaf = epl;
+        lp.hopLatency = hop;
+        lp.bytesPerTick = p_.linkBytesPerTick;
+        topo_ = std::make_unique<LeafSpine>(lp);
+        break;
+      }
+      case MachineParams::Topo::FatTree: {
+        FatTreeParams fp;
+        fp.numLeaves = num_clusters;
+        fp.endpointsPerLeaf = epl;
+        fp.hopLatency = hop;
+        fp.bytesPerTick = p_.linkBytesPerTick;
+        topo_ = std::make_unique<FatTree>(fp);
+        break;
+      }
+      case MachineParams::Topo::Mesh: {
+        MeshParams mp;
+        mp.width = static_cast<std::uint32_t>(
+            std::ceil(std::sqrt(static_cast<double>(num_clusters))));
+        mp.height = (num_clusters + mp.width - 1) / mp.width;
+        mp.endpointsPerNode = epl;
+        mp.hopLatency = hop;
+        mp.bytesPerTick = p_.linkBytesPerTick;
+        topo_ = std::make_unique<Mesh2D>(mp);
+        break;
+      }
+    }
+
+    net_ = std::make_unique<Network>(name() + ".net", eventq(),
+                                     *topo_, rng_.next());
+    net_->setContention(p_.icnContention);
+}
+
+void
+Machine::buildStructure()
+{
+    const std::uint32_t num_villages = p_.numCores / p_.coresPerVillage;
+    const std::uint32_t num_clusters =
+        num_villages / p_.villagesPerCluster;
+    const std::uint32_t epl =
+        p_.villagesPerCluster + (p_.hasMemoryPool ? 1 : 0);
+
+    // Cores.
+    cores_.reserve(p_.numCores);
+    for (CoreId c = 0; c < p_.numCores; ++c) {
+        const VillageId v = c / p_.coresPerVillage;
+        cores_.emplace_back(c, v, v / p_.villagesPerCluster);
+    }
+
+    // Villages and clusters.
+    NicParams nic = p_.nic;
+    nic.ghz = p_.core.ghz;
+    HwRqParams rq = p_.rq;
+    rq.ghz = p_.core.ghz;
+
+    villages_.reserve(num_villages);
+    for (VillageId v = 0; v < num_villages; ++v) {
+        const ClusterId cid = v / p_.villagesPerCluster;
+        const EndpointId ep =
+            cid * epl + (v % p_.villagesPerCluster);
+        villages_.emplace_back(v, cid, ep);
+        Village &vil = villages_.back();
+        for (std::uint32_t k = 0; k < p_.coresPerVillage; ++k)
+            vil.cores.push_back(v * p_.coresPerVillage + k);
+        vil.nic = std::make_unique<VillageNic>(nic);
+        if (p_.sched == MachineParams::Sched::HwRq)
+            vil.rq = std::make_unique<HwRq>(rq);
+    }
+
+    clusters_.reserve(num_clusters);
+    for (ClusterId c = 0; c < num_clusters; ++c) {
+        clusters_.emplace_back(Cluster(c));
+        Cluster &cl = clusters_.back();
+        for (std::uint32_t k = 0; k < p_.villagesPerCluster; ++k)
+            cl.villages.push_back(c * p_.villagesPerCluster + k);
+        cl.hub = std::make_unique<NetworkHub>(
+            strprintf("%s.hub%u", name().c_str(), c));
+        if (p_.hasMemoryPool) {
+            cl.pool = std::make_unique<MemoryPool>(p_.pool);
+            cl.poolEndpoint = c * epl + p_.villagesPerCluster;
+        }
+    }
+
+    // Software scheduling substrate.
+    if (p_.sched == MachineParams::Sched::SwQueue) {
+        SwQueueParams sp = p_.swq;
+        sp.numQueues = p_.swQueueCount;
+        sp.numCores = p_.numCores;
+        sp.workStealing = p_.workStealing;
+        sp.stealAttempts = p_.stealAttempts;
+        sp.ghz = p_.core.ghz;
+        swq_ = std::make_unique<SwQueueSystem>(sp, rng_.next());
+    }
+    // The centralized software scheduler core exists whenever
+    // dispatch or context switching runs in software.
+    if (p_.sched == MachineParams::Sched::SwQueue ||
+        p_.cs.scheme != CsScheme::HardwareRq) {
+        DispatcherParams dp = p_.dispatcher;
+        dp.ghz = p_.core.ghz;
+        dispatcher_ = std::make_unique<SwDispatcher>(dp);
+    }
+
+    TopNicParams tp = p_.topNic;
+    tp.ghz = p_.core.ghz;
+    tp.hardwareDispatch = p_.sched == MachineParams::Sched::HwRq;
+    topNic_ = std::make_unique<TopLevelNic>(tp);
+    rnic_ = std::make_unique<RNicTransport>(p_.rnic, rng_.next());
+
+    // All cores start idle.
+    for (CoreId c = 0; c < p_.numCores; ++c)
+        markIdle(c);
+}
+
+VillageId
+Machine::villageOfCore(CoreId c) const
+{
+    return c / p_.coresPerVillage;
+}
+
+ClusterId
+Machine::clusterOfVillage(VillageId v) const
+{
+    return v / p_.villagesPerCluster;
+}
+
+EndpointId
+Machine::villageEndpoint(VillageId v) const
+{
+    return villages_[v].endpoint;
+}
+
+std::uint32_t
+Machine::queueOfVillage(VillageId v) const
+{
+    return swq_->queueOfCore(villages_[v].cores.front());
+}
+
+double
+Machine::villagePerfFactor(VillageId v) const
+{
+    if (p_.bigVillageFraction <= 0.0)
+        return 1.0;
+    const auto big = static_cast<VillageId>(
+        p_.bigVillageFraction * static_cast<double>(villages_.size()));
+    return v < big ? p_.bigVillagePerfFactor : 1.0;
+}
+
+bool
+Machine::sameL2(CoreId a, CoreId b) const
+{
+    return villageOfCore(a) == villageOfCore(b);
+}
+
+void
+Machine::installInstance(ServiceId service, VillageId village)
+{
+    if (village >= villages_.size())
+        fatal("installInstance: village %u out of range", village);
+    serviceMap_.addInstance(service, village);
+    villages_[village].services.push_back(service);
+    if (villages_[village].rq)
+        villages_[village].rq->registerService(service);
+}
+
+void
+Machine::sendIcn(EndpointId src, EndpointId dst, std::uint32_t bytes,
+                 MsgClass cls, Network::DeliverFn fn)
+{
+    Message m;
+    m.src = src;
+    m.dst = dst;
+    m.bytes = bytes;
+    m.cls = cls;
+    net_->send(m, std::move(fn));
+}
+
+void
+Machine::externalArrival(ServiceRequest *req)
+{
+    if (!serviceMap_.hasService(req->service()))
+        fatal("machine '%s' hosts no instance of service %u",
+              p_.name.c_str(), req->service());
+
+    const Tick t = topNic_->ingress(curTick(), req->reqBytes);
+
+    const VillageId v = serviceMap_.pick(req->service());
+    const EndpointId ext = topo_->externalEndpoint();
+    eventq().schedule(t, [this, req, v, ext]() {
+        sendIcn(ext, villageEndpoint(v), req->reqBytes,
+                MsgClass::Request,
+                [this, req, v]() { villageIngress(req, v); });
+    });
+}
+
+void
+Machine::localCall(ServiceRequest *child, VillageId from_village)
+{
+    const VillageId v = serviceMap_.pick(child->service());
+    sendIcn(villageEndpoint(from_village), villageEndpoint(v),
+            child->reqBytes, MsgClass::Request,
+            [this, child, v]() { villageIngress(child, v); });
+}
+
+void
+Machine::villageIngress(ServiceRequest *req, VillageId v)
+{
+    Village &vil = villages_[v];
+    vil.nic->countRx();
+    req->village = v;
+    req->server = self_;
+    req->pendingOverhead += vil.nic->rxCoreCycles();
+    if (req->seq == 0)
+        req->seq = nextSeq_++;
+    Tick t = curTick() + vil.nic->rxLatency();
+    // Software machines route every arriving request through the
+    // centralized dispatcher before it can be queued (§4.4).
+    if (p_.sched == MachineParams::Sched::SwQueue)
+        t = dispatcher_->process(t);
+    eventq().schedule(t, [this, req]() { enqueueFresh(req); });
+}
+
+void
+Machine::enqueueFresh(ServiceRequest *req)
+{
+    req->state = ReqState::Queued;
+    req->enqueuedAt = curTick();
+    const VillageId v = req->village;
+
+    if (p_.sched == MachineParams::Sched::HwRq) {
+        const RqAdmit res = villages_[v].rq->admit(req->seq, req);
+        if (res == RqAdmit::Rejected) {
+            rejectRequest(req);
+            return;
+        }
+        if (res == RqAdmit::Admitted)
+            tryWakeVillage(v);
+        // Buffered requests are promoted on a later Complete.
+        return;
+    }
+
+    const std::uint32_t q = p_.randomQueueAssignment
+                                ? swq_->randomQueue()
+                                : queueOfVillage(v);
+    req->queueId = q;
+    const Tick done = swq_->enqueue(q, req->seq, req, curTick());
+    eventq().schedule(done, [this, q]() { tryWakeQueue(q); });
+}
+
+void
+Machine::reEnqueue(ServiceRequest *req)
+{
+    req->state = ReqState::Ready;
+    req->enqueuedAt = curTick();
+    const VillageId v = req->village;
+
+    if (p_.sched == MachineParams::Sched::HwRq) {
+        villages_[v].rq->makeReady(req->seq, req);
+        tryWakeVillage(v);
+        return;
+    }
+    const std::uint32_t q = req->queueId;
+    const Tick done = swq_->enqueue(q, req->seq, req, curTick());
+    eventq().schedule(done, [this, q]() { tryWakeQueue(q); });
+}
+
+void
+Machine::tryWakeVillage(VillageId v)
+{
+    const CoreId core = villages_[v].rq->claimIdleCore();
+    if (core == invalidId)
+        return;
+    corePickup(core);
+}
+
+void
+Machine::tryWakeQueue(std::uint32_t q)
+{
+    const CoreId core = swq_->claimIdleCore(q);
+    if (core == invalidId)
+        return;
+    corePickup(core);
+}
+
+void
+Machine::corePickup(CoreId core)
+{
+    Tick done = curTick();
+    ServiceRequest *req = nullptr;
+    if (p_.sched == MachineParams::Sched::HwRq) {
+        req = villages_[villageOfCore(core)].rq->dequeue(curTick(),
+                                                         done);
+    } else {
+        req = swq_->dequeue(core, curTick(), done);
+    }
+    if (req == nullptr) {
+        markIdle(core);
+        return;
+    }
+    startRun(core, req, done);
+}
+
+void
+Machine::startRun(CoreId core, ServiceRequest *req, Tick ready_at)
+{
+    cores_[core].beginWork(req, curTick());
+    req->queuedTime += curTick() - req->enqueuedAt;
+    req->state = ReqState::Running;
+
+    Tick t = ready_at;
+    // Context restore (Dequeue uploads state in hardware; software
+    // schedulers run the restore path).
+    if (req->segIndex > 0) {
+        t += p_.cs.restoreTime(p_.core.ghz);
+        req->contextSwitches += 1;
+        cores_[core].countSwitch();
+    }
+    // Deferred software overhead (RPC rx processing, unblocks).
+    if (req->pendingOverhead > 0) {
+        t += cyc(static_cast<double>(req->pendingOverhead));
+        req->pendingOverhead = 0;
+    }
+
+
+    // Migration warm-up: resuming on a different core outside the
+    // previous L2 domain moves the warm set over the ICN.
+    const CoreId last = req->lastCore;
+    if (last != invalidId && last != core && !sameL2(last, core)) {
+        const std::uint64_t bytes = coherence_.migrationBytes(false);
+        if (bytes > 0) {
+            const VillageId from = villageOfCore(last);
+            const VillageId to = villageOfCore(core);
+            eventq().schedule(t, [this, core, req, from, to,
+                                  bytes]() {
+                sendIcn(villageEndpoint(from), villageEndpoint(to),
+                        static_cast<std::uint32_t>(bytes),
+                        MsgClass::BulkData,
+                        [this, core, req]() {
+                            runSegment(core, req);
+                        });
+            });
+            return;
+        }
+    }
+
+    eventq().schedule(t, [this, core, req]() {
+        runSegment(core, req);
+    });
+}
+
+void
+Machine::runSegment(CoreId core, ServiceRequest *req)
+{
+    double work = static_cast<double>(
+        req->behavior().segments[req->segIndex]);
+    work *= p_.perfFactor * villagePerfFactor(req->village);
+    if (coherence_.scope() == CoherenceScope::Global)
+        work *= 1.0 + p_.dirStallFactor;
+    const Tick dur = static_cast<Tick>(work);
+    req->runningTime += dur;
+
+    // Memory-system traffic generated by this segment. Under global
+    // coherence, misses indirect through directories spread across
+    // the package (uniform-random destination); with village-scoped
+    // coherence they are served by the cluster's local memory pool.
+    if (p_.dirTrafficBytesPerNs > 0.0 && villages_.size() > 1) {
+        const double ns = toNs(dur);
+        const std::uint32_t bytes =
+            static_cast<std::uint32_t>(std::min<double>(
+                ns * p_.dirTrafficBytesPerNs, p_.dirTrafficMaxBytes));
+        if (bytes >= 64) {
+            EndpointId dst;
+            if (coherence_.scope() == CoherenceScope::Global) {
+                VillageId dv = static_cast<VillageId>(
+                    rng_.below(villages_.size()));
+                dst = villageEndpoint(dv);
+            } else {
+                const Cluster &cl =
+                    clusters_[clusterOfVillage(req->village)];
+                dst = cl.poolEndpoint != invalidId
+                          ? cl.poolEndpoint
+                          : villageEndpoint(req->village);
+            }
+            if (dst != villageEndpoint(req->village)) {
+                sendIcn(villageEndpoint(req->village), dst, bytes,
+                        MsgClass::Coherence, []() {});
+            }
+        }
+    }
+
+    eventq().scheduleAfter(dur, [this, core, req]() {
+        segmentDone(core, req);
+    });
+}
+
+void
+Machine::segmentDone(CoreId core, ServiceRequest *req)
+{
+    req->lastCore = core;
+    const VillageId v = req->village;
+
+    if (req->lastSegment()) {
+        // Send the response and execute Complete.
+        Tick t = curTick() + villages_[v].nic->txCoreTime();
+        if (p_.sched == MachineParams::Sched::HwRq)
+            t += cyc(static_cast<double>(p_.rq.completeCycles));
+        eventq().schedule(t, [this, core, req, v]() {
+            finishRequest(req, v);
+            releaseCore(core);
+        });
+        return;
+    }
+
+    // Block on the next call group.
+    const CallGroup &group = req->behavior().groups[req->segIndex];
+    req->state = ReqState::Blocked;
+    req->pendingChildren = static_cast<std::uint32_t>(group.size());
+    req->blockedGroup = req->segIndex;
+    req->segIndex += 1;
+    req->contextSwitches += 1;
+    cores_[core].countSwitch();
+
+    Tick t = curTick() + p_.cs.saveTime(p_.core.ghz) +
+             villages_[v].nic->txCoreTime() *
+                 static_cast<Tick>(group.size());
+    // Software context switching routes through the centralized
+    // scheduler core (§4.4); the worker waits for its ack, so the
+    // dispatcher saturates under frequent blocking.
+    if (p_.cs.scheme != CsScheme::HardwareRq) {
+        t = dispatcher_->process(
+            t, p_.dispatcher.opCycles + p_.cs.saveCycles);
+    }
+    eventq().schedule(t, [this, core, req, v]() {
+        issueCallGroup(req, v);
+        releaseCore(core);
+    });
+}
+
+void
+Machine::issueCallGroup(ServiceRequest *req, VillageId v)
+{
+    const CallGroup &group =
+        req->behavior().groups[req->blockedGroup];
+    const Tick blocked_from = curTick();
+    req->enqueuedAt = blocked_from; // reused for blocked accounting
+    for (const CallStep &call : group) {
+        villages_[v].nic->countTx();
+        if (call.kind == CallStep::Kind::Storage) {
+            // Request leaves via the village R-port, the ICN, and
+            // the package top-level NIC. The step is captured by
+            // value: the loop variable dies before delivery.
+            const CallStep step = call;
+            sendIcn(villageEndpoint(v), topo_->externalEndpoint(),
+                    step.requestBytes, MsgClass::Request,
+                    [this, req, step]() {
+                        Tick t = topNic_->egress(curTick(),
+                                                 step.requestBytes);
+                        t += rnic_->sendPenalty();
+                        t += topNic_->extLatency();
+                        eventq().schedule(t, [this, req, step]() {
+                            onStorageCall(req, step);
+                        });
+                    });
+        } else {
+            onServiceCall(req, call);
+        }
+    }
+}
+
+void
+Machine::finishRequest(ServiceRequest *req, VillageId v)
+{
+    req->state = ReqState::Finished;
+    req->finishedAt = curTick();
+    ++completed_;
+    villages_[v].nic->countTx();
+
+    if (p_.sched == MachineParams::Sched::HwRq) {
+        ServiceRequest *promoted =
+            villages_[v].rq->complete(req->service());
+        if (promoted != nullptr) {
+            promoted->enqueuedAt = curTick();
+            promoted->state = ReqState::Queued;
+            tryWakeVillage(v);
+        }
+    }
+
+    if (req->parent == nullptr) {
+        // Root: response to the external client.
+        sendIcn(villageEndpoint(v), topo_->externalEndpoint(),
+                req->respBytes, MsgClass::Response, [this, req]() {
+                    Tick t =
+                        topNic_->egress(curTick(), req->respBytes);
+                    t += rnic_->sendPenalty() + topNic_->extLatency();
+                    eventq().schedule(t, [this, req]() {
+                        onRootComplete(req);
+                    });
+                });
+    } else if (req->parent->server == self_) {
+        // Local parent: response over the ICN.
+        ServiceRequest *parent = req->parent;
+        sendIcn(villageEndpoint(v), villageEndpoint(parent->village),
+                req->respBytes, MsgClass::Response,
+                [this, parent, req]() {
+                    deliverChildResponse(parent, req);
+                });
+    } else {
+        // Remote parent: response leaves the package.
+        sendIcn(villageEndpoint(v), topo_->externalEndpoint(),
+                req->respBytes, MsgClass::Response, [this, req]() {
+                    Tick t =
+                        topNic_->egress(curTick(), req->respBytes);
+                    t += rnic_->sendPenalty();
+                    eventq().schedule(t, [this, req]() {
+                        onRemoteChildFinished(req);
+                    });
+                });
+    }
+}
+
+void
+Machine::deliverChildResponse(ServiceRequest *parent,
+                              ServiceRequest *child)
+{
+    Village &vil = villages_[parent->village];
+    vil.nic->countRx();
+    parent->pendingOverhead += vil.nic->rxCoreCycles();
+    const Tick t = curTick() + vil.nic->rxLatency();
+
+    if (onChildConsumed)
+        onChildConsumed(child);
+
+    if (parent->pendingChildren == 0)
+        panic("response for a parent with no pending children");
+    parent->pendingChildren -= 1;
+    if (parent->pendingChildren == 0) {
+        eventq().schedule(t, [this, parent]() {
+            responseProcessed(parent);
+        });
+    }
+}
+
+void
+Machine::externalResponse(ServiceRequest *parent, std::uint32_t bytes)
+{
+    const Tick t0 = topNic_->ingress(curTick(), bytes);
+    rnic_->onAck();
+    eventq().schedule(t0, [this, parent, bytes]() {
+        sendIcn(topo_->externalEndpoint(),
+                villageEndpoint(parent->village), bytes,
+                MsgClass::Response, [this, parent]() {
+                    Village &vil = villages_[parent->village];
+                    vil.nic->countRx();
+                    parent->pendingOverhead += vil.nic->rxCoreCycles();
+                    const Tick t =
+                        curTick() + vil.nic->rxLatency();
+                    if (parent->pendingChildren == 0)
+                        panic("external response without pending "
+                              "children");
+                    parent->pendingChildren -= 1;
+                    if (parent->pendingChildren == 0) {
+                        eventq().schedule(t, [this, parent]() {
+                            responseProcessed(parent);
+                        });
+                    }
+                });
+    });
+}
+
+void
+Machine::outboundRequest(ServiceRequest *req, VillageId from,
+                         std::function<void()> on_exit)
+{
+    rnic_->onSend();
+    sendIcn(villageEndpoint(from), topo_->externalEndpoint(),
+            req->reqBytes, MsgClass::Request,
+            [this, req, on_exit = std::move(on_exit)]() {
+                Tick t = topNic_->egress(curTick(), req->reqBytes);
+                t += rnic_->sendPenalty();
+                eventq().schedule(t, on_exit);
+            });
+}
+
+void
+Machine::responseProcessed(ServiceRequest *parent)
+{
+    parent->blockedTime += curTick() - parent->enqueuedAt;
+    // Unblocking under software context switching is another
+    // serialized dispatcher operation (restore-side bookkeeping).
+    if (p_.cs.scheme != CsScheme::HardwareRq) {
+        const Tick t = dispatcher_->process(
+            curTick(), p_.dispatcher.opCycles + p_.cs.restoreCycles);
+        eventq().schedule(t,
+                          [this, parent]() { reEnqueue(parent); });
+        return;
+    }
+    reEnqueue(parent);
+}
+
+void
+Machine::rejectRequest(ServiceRequest *req)
+{
+    ++rejected_;
+    req->rejected = true;
+    req->state = ReqState::Rejected;
+    req->finishedAt = curTick();
+    // An error response still flows back so callers never hang; it
+    // is small and cheap.
+    req->respBytes = 128;
+    const VillageId v = req->village;
+    if (req->parent == nullptr) {
+        sendIcn(villageEndpoint(v), topo_->externalEndpoint(), 128,
+                MsgClass::Response, [this, req]() {
+                    const Tick t =
+                        topNic_->egress(curTick(), 128) +
+                        topNic_->extLatency();
+                    eventq().schedule(t, [this, req]() {
+                        onRootComplete(req);
+                    });
+                });
+    } else if (req->parent->server == self_) {
+        ServiceRequest *parent = req->parent;
+        sendIcn(villageEndpoint(v), villageEndpoint(parent->village),
+                128, MsgClass::Response, [this, parent, req]() {
+                    deliverChildResponse(parent, req);
+                });
+    } else {
+        sendIcn(villageEndpoint(v), topo_->externalEndpoint(), 128,
+                MsgClass::Response, [this, req]() {
+                    const Tick t = topNic_->egress(curTick(), 128);
+                    eventq().schedule(t, [this, req]() {
+                        onRemoteChildFinished(req);
+                    });
+                });
+    }
+}
+
+void
+Machine::releaseCore(CoreId core)
+{
+    cores_[core].endWork(curTick());
+    corePickup(core);
+}
+
+void
+Machine::markIdle(CoreId core)
+{
+    if (p_.sched == MachineParams::Sched::HwRq)
+        villages_[villageOfCore(core)].rq->coreIdle(core);
+    else
+        swq_->coreIdle(core);
+}
+
+double
+Machine::dispatcherUtilization() const
+{
+    return dispatcher_ ? dispatcher_->utilization(curTick()) : 0.0;
+}
+
+std::uint64_t
+Machine::dispatcherOps() const
+{
+    return dispatcher_ ? dispatcher_->ops() : 0;
+}
+
+std::uint64_t
+Machine::contextSwitches() const
+{
+    std::uint64_t total = 0;
+    for (const Core &c : cores_)
+        total += c.switches();
+    return total;
+}
+
+double
+Machine::avgCoreUtilization() const
+{
+    if (cores_.empty() || curTick() == 0)
+        return 0.0;
+    double total = 0.0;
+    for (const Core &c : cores_)
+        total += c.utilization(curTick());
+    return total / static_cast<double>(cores_.size());
+}
+
+} // namespace umany

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Machine: one server's processor package — cores grouped into
+ * villages (L2/coherence domains) and clusters (ICN leaves), an
+ * on-package interconnect, request queues (hardware RQs or software
+ * queues), NICs, and the full intra-server request lifecycle.
+ *
+ * The three evaluated machines (μManycore, ScaleOut, ServerClass)
+ * and all ablation/sensitivity variants are configurations of this
+ * one engine; see arch/presets.hh.
+ */
+
+#ifndef UMANY_ARCH_MACHINE_HH
+#define UMANY_ARCH_MACHINE_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "arch/cluster.hh"
+#include "arch/village.hh"
+#include "cpu/context.hh"
+#include "cpu/core.hh"
+#include "cpu/core_params.hh"
+#include "mem/coherence.hh"
+#include "noc/network.hh"
+#include "noc/topology.hh"
+#include "rpc/top_nic.hh"
+#include "rpc/transport.hh"
+#include "sched/dispatcher.hh"
+#include "sched/queue_system.hh"
+#include "sched/service_map.hh"
+#include "sim/sim_object.hh"
+#include "workload/service.hh"
+
+namespace umany
+{
+
+/** Full configuration of one machine. */
+struct MachineParams
+{
+    std::string name = "uManycore";
+
+    /** @name Structure @{ */
+    std::uint32_t numCores = 1024;
+    std::uint32_t coresPerVillage = 8;
+    std::uint32_t villagesPerCluster = 4;
+    bool hasMemoryPool = true;
+    /** @} */
+
+    /** @name Core @{ */
+    CoreParams core;
+    /** Execution-time multiplier vs the reference (manycore) core. */
+    double perfFactor = 1.0;
+    /**
+     * §8 future work: heterogeneous villages. The first
+     * floor(fraction * numVillages) villages get beefier cores with
+     * the given (faster, < 1) time factor. 0 disables.
+     */
+    double bigVillageFraction = 0.0;
+    double bigVillagePerfFactor = 0.8;
+    /** @} */
+
+    /** @name On-package ICN @{ */
+    enum class Topo : std::uint8_t { Mesh, FatTree, LeafSpine };
+    Topo topo = Topo::LeafSpine;
+    Cycles hopCycles = 5;          //!< Table 2: 5 cycles per hop.
+    double linkBytesPerTick = 0.002;
+    bool icnContention = true;
+    /** @} */
+
+    /** @name Scheduling @{ */
+    enum class Sched : std::uint8_t { HwRq, SwQueue };
+    Sched sched = Sched::HwRq;
+    std::uint32_t swQueueCount = 32;
+    bool workStealing = false;
+    std::uint32_t stealAttempts = 2;
+    /** Fig 3: assign arrivals to random queues instead of by
+     *  instance locality. */
+    bool randomQueueAssignment = false;
+    /** @} */
+
+    /** @name Cost models @{ */
+    ContextSwitchModel cs;
+    HwRqParams rq;
+    SwQueueParams swq;         //!< counts/ghz derived at build.
+    DispatcherParams dispatcher;
+    NicParams nic;
+    TopNicParams topNic;
+    CoherenceParams coherence;
+    /** Fractional segment slowdown from directory indirection under
+     *  global coherence. */
+    double dirStallFactor = 0.04;
+    /**
+     * Directory/coherence data movement per nanosecond of segment
+     * work under global coherence (bytes/ns). Flows village ->
+     * random endpoint over the ICN, contending with latency-critical
+     * messages (§4.1's "remote directory and network accesses").
+     */
+    double dirTrafficBytesPerNs = 0.10;
+    /** Cap on one segment's directory-traffic message. */
+    std::uint32_t dirTrafficMaxBytes = 128 * 1024;
+    RNicTransportParams rnic;
+    MemoryPoolParams pool;
+    /** @} */
+};
+
+/**
+ * One server's processor package plus its request-execution engine.
+ *
+ * External integration points (set by the owning Server/ClusterSim
+ * before traffic flows):
+ *  - onRootComplete: a root request finished and its response left
+ *    the package.
+ *  - onStorageCall: a handler issued a storage access; the owner
+ *    models the storage tier and later calls externalResponse().
+ *  - onServiceCall: a handler invoked another service; the owner
+ *    resolves placement and either calls localCall() back or ships
+ *    the child to another server.
+ *  - onRemoteChildFinished: a child whose parent lives on another
+ *    server finished; the owner routes the response.
+ *  - onChildConsumed: a local child's response was delivered; the
+ *    owner may free it.
+ */
+class Machine : public SimObject
+{
+  public:
+    Machine(std::string name, EventQueue &eq, const MachineParams &p,
+            ServerId self, std::uint64_t seed);
+    ~Machine() override;
+
+    /** @name Wiring @{ */
+    std::function<void(ServiceRequest *)> onRootComplete;
+    std::function<void(ServiceRequest *, const CallStep &)>
+        onStorageCall;
+    std::function<void(ServiceRequest *, const CallStep &)>
+        onServiceCall;
+    std::function<void(ServiceRequest *)> onRemoteChildFinished;
+    std::function<void(ServiceRequest *)> onChildConsumed;
+    /** @} */
+
+    /** Register a service instance in a village (placement). */
+    void installInstance(ServiceId service, VillageId village);
+
+    /** @name Entry points @{ */
+    /**
+     * A request (root or remote child) reaches the package's
+     * top-level NIC at the current tick.
+     */
+    void externalArrival(ServiceRequest *req);
+
+    /** A local parent calls a service hosted on this machine. */
+    void localCall(ServiceRequest *child, VillageId from_village);
+
+    /**
+     * A response for @p parent arrives from the external world
+     * (storage completion or remote child response).
+     */
+    void externalResponse(ServiceRequest *parent,
+                          std::uint32_t bytes);
+
+    /**
+     * Ship @p req (a child destined for another server) out of the
+     * package: village ICN -> top NIC egress -> lossy transport.
+     * @p on_exit runs when the message is on the external wire.
+     */
+    void outboundRequest(ServiceRequest *req, VillageId from,
+                         std::function<void()> on_exit);
+    /** @} */
+
+    /** @name Introspection and statistics @{ */
+    const MachineParams &params() const { return p_; }
+    ServerId serverId() const { return self_; }
+    std::uint32_t numVillages() const
+    {
+        return static_cast<std::uint32_t>(villages_.size());
+    }
+    std::uint32_t numClusters() const
+    {
+        return static_cast<std::uint32_t>(clusters_.size());
+    }
+    const Village &village(VillageId v) const { return villages_[v]; }
+    Cluster &cluster(ClusterId c) { return clusters_[c]; }
+    ServiceMap &serviceMap() { return serviceMap_; }
+    Network &network() { return *net_; }
+    const Network &network() const { return *net_; }
+    const Topology &topology() const { return *topo_; }
+    TopLevelNic &topNic() { return *topNic_; }
+
+    VillageId villageOfCore(CoreId c) const;
+    ClusterId clusterOfVillage(VillageId v) const;
+    EndpointId villageEndpoint(VillageId v) const;
+    /** Per-village execution-time factor (heterogeneous villages). */
+    double villagePerfFactor(VillageId v) const;
+
+    std::uint64_t completedRequests() const { return completed_; }
+    std::uint64_t rejectedRequests() const { return rejected_; }
+    std::uint64_t contextSwitches() const;
+    double avgCoreUtilization() const;
+    /** Utilization of the software dispatcher core (0 when absent). */
+    double dispatcherUtilization() const;
+    /** Dispatcher operations processed (0 when absent). */
+    std::uint64_t dispatcherOps() const;
+    const std::vector<Core> &cores() const { return cores_; }
+    /** @} */
+
+  private:
+    MachineParams p_;
+    ServerId self_;
+    Rng rng_;
+
+    std::unique_ptr<Topology> topo_;
+    std::unique_ptr<Network> net_;
+    std::vector<Core> cores_;
+    std::vector<Village> villages_;
+    std::vector<Cluster> clusters_;
+    std::unique_ptr<SwQueueSystem> swq_;
+    std::unique_ptr<SwDispatcher> dispatcher_;
+    std::unique_ptr<TopLevelNic> topNic_;
+    std::unique_ptr<RNicTransport> rnic_;
+    ServiceMap serviceMap_;
+    CoherenceModel coherence_;
+
+    std::uint64_t nextSeq_ = 1;
+    std::uint64_t completed_ = 0;
+    std::uint64_t rejected_ = 0;
+
+    /** @name Construction helpers @{ */
+    void buildTopology();
+    void buildStructure();
+    /** @} */
+
+    /** @name Time helpers @{ */
+    Tick cyc(double cycles) const
+    {
+        return cyclesToTicks(cycles, p_.core.ghz);
+    }
+    /** @} */
+
+    /** @name Lifecycle steps @{ */
+    void villageIngress(ServiceRequest *req, VillageId v);
+    void enqueueFresh(ServiceRequest *req);
+    void reEnqueue(ServiceRequest *req);
+    void tryWakeVillage(VillageId v);
+    void tryWakeQueue(std::uint32_t q);
+    void corePickup(CoreId core);
+    void startRun(CoreId core, ServiceRequest *req, Tick ready_at);
+    void runSegment(CoreId core, ServiceRequest *req);
+    void segmentDone(CoreId core, ServiceRequest *req);
+    void issueCallGroup(ServiceRequest *req, VillageId v);
+    void finishRequest(ServiceRequest *req, VillageId v);
+    void deliverChildResponse(ServiceRequest *parent,
+                              ServiceRequest *child);
+    void responseProcessed(ServiceRequest *parent);
+    void rejectRequest(ServiceRequest *req);
+    void releaseCore(CoreId core);
+    void markIdle(CoreId core);
+    /** @} */
+
+    /** Send an ICN message and run @p fn on delivery. */
+    void sendIcn(EndpointId src, EndpointId dst, std::uint32_t bytes,
+                 MsgClass cls, Network::DeliverFn fn);
+
+    std::uint32_t queueOfVillage(VillageId v) const;
+    bool sameL2(CoreId a, CoreId b) const;
+};
+
+} // namespace umany
+
+#endif // UMANY_ARCH_MACHINE_HH

@@ -1,0 +1,144 @@
+#include "arch/presets.hh"
+
+#include "cpu/perf_model.hh"
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+MachineParams
+uManycoreParams()
+{
+    MachineParams p;
+    p.name = "uManycore";
+    p.numCores = 1024;
+    p.coresPerVillage = 8;
+    p.villagesPerCluster = 4;
+    p.hasMemoryPool = true;
+    p.core = manycoreCoreParams();
+    p.perfFactor = 1.0;
+    p.topo = MachineParams::Topo::LeafSpine;
+    p.sched = MachineParams::Sched::HwRq;
+    p.cs = contextSwitchModel(CsScheme::HardwareRq);
+    p.nic.hardwareRpc = true;
+    p.coherence.scope = CoherenceScope::Village;
+    p.dirStallFactor = 0.0;
+    return p;
+}
+
+MachineParams
+uManycoreConfigParams(std::uint32_t cores_per_village,
+                      std::uint32_t villages_per_cluster,
+                      std::uint32_t clusters)
+{
+    MachineParams p = uManycoreParams();
+    if (cores_per_village * villages_per_cluster * clusters !=
+        p.numCores) {
+        fatal("config %ux%ux%u does not total %u cores",
+              cores_per_village, villages_per_cluster, clusters,
+              p.numCores);
+    }
+    p.name = strprintf("uManycore-%ux%ux%u", cores_per_village,
+                       villages_per_cluster, clusters);
+    p.coresPerVillage = cores_per_village;
+    p.villagesPerCluster = villages_per_cluster;
+    return p;
+}
+
+MachineParams
+scaleOutParams()
+{
+    MachineParams p;
+    p.name = "ScaleOut";
+    p.numCores = 1024;
+    p.coresPerVillage = 8;       // Same L2 sharing as μManycore.
+    p.villagesPerCluster = 4;
+    p.hasMemoryPool = true;
+    p.core = manycoreCoreParams();
+    p.perfFactor = 1.0;
+    p.topo = MachineParams::Topo::FatTree;
+    p.sched = MachineParams::Sched::SwQueue;
+    p.swQueueCount = 32;         // One queue per 32-core cluster.
+    p.cs = contextSwitchModel(CsScheme::Shinjuku);
+    p.nic.hardwareRpc = false;   // Software RPC layer.
+    p.coherence.scope = CoherenceScope::Global;
+    p.dirStallFactor = 0.04;
+    return p;
+}
+
+MachineParams
+scaleOutMeshParams()
+{
+    MachineParams p = scaleOutParams();
+    p.name = "ScaleOut-mesh";
+    p.topo = MachineParams::Topo::Mesh;
+    return p;
+}
+
+MachineParams
+serverClassParams(std::uint32_t cores)
+{
+    MachineParams p;
+    p.name = cores == 40 ? "ServerClass"
+                         : strprintf("ServerClass-%u", cores);
+    p.numCores = cores;
+    p.coresPerVillage = 1;       // Private L2 per core.
+    p.villagesPerCluster = 1;    // Each core is a mesh tile.
+    p.hasMemoryPool = false;
+    p.core = serverClassCoreParams();
+    p.perfFactor = perfFactor(serverClassCoreParams(),
+                              manycoreCoreParams());
+    p.topo = MachineParams::Topo::Mesh;
+    p.hopCycles = 5;
+    p.sched = MachineParams::Sched::SwQueue;
+    p.swQueueCount = 1;          // Centralized run queue.
+    p.cs = contextSwitchModel(CsScheme::Shinjuku);
+    p.nic.hardwareRpc = false;
+    p.coherence.scope = CoherenceScope::Global;
+    p.dirStallFactor = 0.04;
+    return p;
+}
+
+MachineParams
+ablationVillages()
+{
+    MachineParams p = scaleOutParams();
+    p.name = "ScaleOut+villages";
+    p.coherence.scope = CoherenceScope::Village;
+    p.dirStallFactor = 0.0;
+    // Migration confined to a village: one queue per village.
+    p.swQueueCount = p.numCores / p.coresPerVillage;
+    return p;
+}
+
+MachineParams
+ablationLeafSpine()
+{
+    MachineParams p = ablationVillages();
+    p.name = "+leaf-spine";
+    p.topo = MachineParams::Topo::LeafSpine;
+    return p;
+}
+
+MachineParams
+ablationHwSched()
+{
+    MachineParams p = ablationLeafSpine();
+    p.name = "+hw-sched";
+    p.sched = MachineParams::Sched::HwRq;
+    p.nic.hardwareRpc = true;
+    // Context switching still software (Shinjuku costs).
+    p.cs = contextSwitchModel(CsScheme::Shinjuku);
+    return p;
+}
+
+MachineParams
+ablationHwCs()
+{
+    MachineParams p = ablationHwSched();
+    p.name = "+hw-cs";
+    p.cs = contextSwitchModel(CsScheme::HardwareRq);
+    return p;
+}
+
+} // namespace umany

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Named machine configurations matching Table 2 and the evaluation:
+ * μManycore, ScaleOut, ServerClass (iso-power 40-core / iso-area
+ * 128-core), the Fig 15 ablation ladder, the Fig 19 topology
+ * variants, and the Fig 7 mesh-ScaleOut variant.
+ */
+
+#ifndef UMANY_ARCH_PRESETS_HH
+#define UMANY_ARCH_PRESETS_HH
+
+#include "arch/machine.hh"
+
+namespace umany
+{
+
+/** 1024-core μManycore (8 cores x 4 villages x 32 clusters). */
+MachineParams uManycoreParams();
+
+/**
+ * μManycore with an alternative organization (Fig 19): cores per
+ * village x villages per cluster x clusters must multiply to 1024.
+ */
+MachineParams uManycoreConfigParams(std::uint32_t cores_per_village,
+                                    std::uint32_t villages_per_cluster,
+                                    std::uint32_t clusters);
+
+/** 1024-core ScaleOut baseline: fat tree, global coherence, software
+ *  scheduling/context switching, one queue per 32-core cluster. */
+MachineParams scaleOutParams();
+
+/** ScaleOut with a 2D-mesh ICN (the Fig 7 mesh variant). */
+MachineParams scaleOutMeshParams();
+
+/** ServerClass multicore: 40 cores iso-power (default) or 128
+ *  iso-area, 2D mesh, global coherence, software scheduling. */
+MachineParams serverClassParams(std::uint32_t cores = 40);
+
+/** @name Fig 15 ablation ladder (cumulative over ScaleOut) @{ */
+/** ScaleOut + villages (coherence scoped to 8-core villages). */
+MachineParams ablationVillages();
+/** + leaf-spine ICN. */
+MachineParams ablationLeafSpine();
+/** + hardware request scheduling (RQ, NIC dispatch, HW RPC layer). */
+MachineParams ablationHwSched();
+/** + hardware context switching == full μManycore. */
+MachineParams ablationHwCs();
+/** @} */
+
+} // namespace umany
+
+#endif // UMANY_ARCH_PRESETS_HH

@@ -1,0 +1,44 @@
+#include "arch/server.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+StorageBackend::StorageBackend(const StorageParams &p,
+                               std::uint64_t seed)
+    : p_(p), rng_(seed)
+{
+    if (p_.slots == 0)
+        fatal("storage needs at least one slot");
+    for (std::uint32_t s = 0; s < p_.slots; ++s)
+        slots_.push(0);
+}
+
+Tick
+StorageBackend::request(Tick when)
+{
+    ++requests_;
+    const Tick free = slots_.top();
+    slots_.pop();
+    const Tick start = std::max(when, free);
+    queueing_ += start - when;
+    const double mean_us =
+        rng_.chance(p_.fastProb) ? p_.fastMeanUs : p_.slowMeanUs;
+    const Tick done = start + fromUs(rng_.expMean(mean_us));
+    slots_.push(done);
+    return done;
+}
+
+Server::Server(EventQueue &eq, ServerId id, const MachineParams &mp,
+               const StorageParams &sp, std::uint64_t seed)
+    : id_(id),
+      machine_(strprintf("server%u.%s", id, mp.name.c_str()), eq, mp,
+               id, seed),
+      storage_(sp, seed ^ 0x57a6eull)
+{
+}
+
+} // namespace umany

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Server: one machine plus its slice of the storage tier. The
+ * storage tier is external to the package (reached over the 1 μs
+ * datacenter network) and has bounded concurrency, so it saturates
+ * under overload like a real backing store.
+ */
+
+#ifndef UMANY_ARCH_SERVER_HH
+#define UMANY_ARCH_SERVER_HH
+
+#include <memory>
+#include <queue>
+
+#include "arch/machine.hh"
+#include "sim/rng.hh"
+
+namespace umany
+{
+
+/** Storage-tier parameters (per server). */
+struct StorageParams
+{
+    std::uint32_t slots = 192;   //!< Concurrent I/Os served.
+    double fastProb = 0.82;      //!< Cache-hit-style accesses.
+    double fastMeanUs = 60.0;
+    double slowMeanUs = 220.0;
+};
+
+/**
+ * Bounded-concurrency storage model: an access takes an
+ * exponentially distributed service time on one of `slots` servers
+ * (M/G/k); arrivals beyond capacity queue.
+ */
+class StorageBackend
+{
+  public:
+    StorageBackend(const StorageParams &p, std::uint64_t seed);
+
+    /**
+     * Issue one access arriving at @p when.
+     * @return Completion tick at the storage tier.
+     */
+    Tick request(Tick when);
+
+    std::uint64_t requests() const { return requests_; }
+    Tick totalQueueing() const { return queueing_; }
+
+  private:
+    StorageParams p_;
+    Rng rng_;
+    // Min-heap of per-slot free times.
+    std::priority_queue<Tick, std::vector<Tick>, std::greater<Tick>>
+        slots_;
+    std::uint64_t requests_ = 0;
+    Tick queueing_ = 0;
+};
+
+/** One server: machine + storage slice. */
+class Server
+{
+  public:
+    Server(EventQueue &eq, ServerId id, const MachineParams &mp,
+           const StorageParams &sp, std::uint64_t seed);
+
+    ServerId id() const { return id_; }
+    Machine &machine() { return machine_; }
+    const Machine &machine() const { return machine_; }
+    StorageBackend &storage() { return storage_; }
+
+  private:
+    ServerId id_;
+    Machine machine_;
+    StorageBackend storage_;
+};
+
+} // namespace umany
+
+#endif // UMANY_ARCH_SERVER_HH

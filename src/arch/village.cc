@@ -1,0 +1,20 @@
+#include "arch/village.hh"
+
+#include <algorithm>
+
+namespace umany
+{
+
+Village::Village(VillageId vid, ClusterId cid, EndpointId ep)
+    : id(vid), cluster(cid), endpoint(ep)
+{
+}
+
+bool
+Village::hostsService(ServiceId s) const
+{
+    return std::find(services.begin(), services.end(), s) !=
+           services.end();
+}
+
+} // namespace umany

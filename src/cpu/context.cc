@@ -1,0 +1,66 @@
+#include "cpu/context.hh"
+
+namespace umany
+{
+
+Tick
+ContextSwitchModel::saveTime(double ghz) const
+{
+    return cyclesToTicks(static_cast<double>(saveCycles), ghz);
+}
+
+Tick
+ContextSwitchModel::restoreTime(double ghz) const
+{
+    return cyclesToTicks(static_cast<double>(restoreCycles), ghz);
+}
+
+ContextSwitchModel
+contextSwitchModel(CsScheme scheme)
+{
+    ContextSwitchModel m;
+    m.scheme = scheme;
+    switch (scheme) {
+      case CsScheme::HardwareRq:
+        m.saveCycles = 128;
+        m.restoreCycles = 128;
+        break;
+      case CsScheme::Shinjuku:
+        m.saveCycles = 2000;
+        m.restoreCycles = 2000;
+        break;
+      case CsScheme::Shenango:
+        m.saveCycles = 1800;
+        m.restoreCycles = 1800;
+        break;
+      case CsScheme::ZygOS:
+        m.saveCycles = 2400;
+        m.restoreCycles = 2400;
+        break;
+      case CsScheme::Linux:
+        m.saveCycles = 5000;
+        m.restoreCycles = 5000;
+        break;
+    }
+    return m;
+}
+
+const char *
+csSchemeName(CsScheme scheme)
+{
+    switch (scheme) {
+      case CsScheme::HardwareRq:
+        return "hardware-rq";
+      case CsScheme::Shinjuku:
+        return "shinjuku";
+      case CsScheme::Shenango:
+        return "shenango";
+      case CsScheme::ZygOS:
+        return "zygos";
+      case CsScheme::Linux:
+        return "linux";
+    }
+    return "?";
+}
+
+} // namespace umany

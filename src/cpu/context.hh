@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Context-switch cost models (§3.3, §4.4, Fig 6).
+ *
+ * The cost of one switch (saving or restoring process state) in
+ * core cycles. μManycore's ContextSwitch/Dequeue instructions move
+ * a few hundred bytes of architectural state to/from the Request
+ * Context Memory in hardware; software schemes run through the
+ * scheduler (Shinjuku/Shenango/ZygOS ≈2K cycles) or the kernel
+ * (Linux ≈5K cycles).
+ */
+
+#ifndef UMANY_CPU_CONTEXT_HH
+#define UMANY_CPU_CONTEXT_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace umany
+{
+
+/** Known context-switching schemes with their per-switch costs. */
+enum class CsScheme : std::uint8_t
+{
+    HardwareRq, //!< μManycore ContextSwitch/Dequeue instructions.
+    Shinjuku,
+    Shenango,
+    ZygOS,
+    Linux,
+};
+
+/**
+ * Cost model of one scheme. A "context switch" in §3.3's accounting
+ * is one leg (switching out on a block, or switching in on a
+ * resume), so the per-leg costs match the paper directly: ≈5K
+ * cycles for Linux, ≈2K for state-of-the-art software schedulers,
+ * and the 128–256-cycle hardware target.
+ */
+struct ContextSwitchModel
+{
+    CsScheme scheme = CsScheme::HardwareRq;
+    /** Cycles to save state when a request blocks. */
+    Cycles saveCycles = 128;
+    /** Cycles to restore state when a request resumes. */
+    Cycles restoreCycles = 128;
+    /** Bytes of process state moved per switch (§4.4: a few hundred). */
+    std::uint32_t stateBytes = 512;
+
+    /** Per-switch cost in ticks at @p ghz. */
+    Tick saveTime(double ghz) const;
+    Tick restoreTime(double ghz) const;
+};
+
+/** Preset for a scheme (Fig 6's reference points). */
+ContextSwitchModel contextSwitchModel(CsScheme scheme);
+
+/** Scheme display name. */
+const char *csSchemeName(CsScheme scheme);
+
+} // namespace umany
+
+#endif // UMANY_CPU_CONTEXT_HH

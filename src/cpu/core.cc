@@ -1,0 +1,38 @@
+#include "cpu/core.hh"
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+void
+Core::beginWork(ServiceRequest *req, Tick now)
+{
+    if (current_ != nullptr)
+        panic("core %u started work while busy", id_);
+    current_ = req;
+    busySince_ = now;
+    ++segments_;
+}
+
+void
+Core::endWork(Tick now)
+{
+    if (current_ == nullptr)
+        panic("core %u ended work while idle", id_);
+    busyTime_ += now - busySince_;
+    current_ = nullptr;
+}
+
+double
+Core::utilization(Tick now) const
+{
+    if (now == 0)
+        return 0.0;
+    Tick busy = busyTime_;
+    if (current_ != nullptr)
+        busy += now - busySince_;
+    return static_cast<double>(busy) / static_cast<double>(now);
+}
+
+} // namespace umany

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Core occupancy model: a core is either idle or busy running one
+ * request's segment (plus scheduling/switching overheads). The
+ * Machine drives the state transitions; the Core tracks occupancy
+ * and accounting.
+ */
+
+#ifndef UMANY_CPU_CORE_HH
+#define UMANY_CPU_CORE_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace umany
+{
+
+class ServiceRequest;
+
+/** One core of a simulated machine. */
+class Core
+{
+  public:
+    Core() = default;
+    Core(CoreId id, VillageId village, ClusterId cluster)
+        : id_(id), village_(village), cluster_(cluster)
+    {
+    }
+
+    CoreId id() const { return id_; }
+    VillageId village() const { return village_; }
+    ClusterId cluster() const { return cluster_; }
+
+    bool busy() const { return current_ != nullptr; }
+    ServiceRequest *current() const { return current_; }
+
+    /** Begin occupying the core with @p req at @p now. */
+    void beginWork(ServiceRequest *req, Tick now);
+
+    /** Release the core at @p now, accumulating busy time. */
+    void endWork(Tick now);
+
+    /** Accumulated busy time. */
+    Tick busyTime() const { return busyTime_; }
+
+    /** Context switches performed on this core. */
+    std::uint64_t switches() const { return switches_; }
+    void countSwitch() { ++switches_; }
+
+    /** Segments executed. */
+    std::uint64_t segmentsRun() const { return segments_; }
+
+    /** Utilization over [0, now]. */
+    double utilization(Tick now) const;
+
+  private:
+    CoreId id_ = 0;
+    VillageId village_ = 0;
+    ClusterId cluster_ = 0;
+    ServiceRequest *current_ = nullptr;
+    Tick busySince_ = 0;
+    Tick busyTime_ = 0;
+    std::uint64_t switches_ = 0;
+    std::uint64_t segments_ = 0;
+};
+
+} // namespace umany
+
+#endif // UMANY_CPU_CORE_HH

@@ -1,0 +1,30 @@
+#include "cpu/core_params.hh"
+
+namespace umany
+{
+
+CoreParams
+manycoreCoreParams()
+{
+    CoreParams p;
+    p.name = "manycore-core";
+    p.issueWidth = 4;
+    p.robEntries = 64;
+    p.lsqEntries = 64;
+    p.ghz = 2.0;
+    return p;
+}
+
+CoreParams
+serverClassCoreParams()
+{
+    CoreParams p;
+    p.name = "serverclass-core";
+    p.issueWidth = 6;
+    p.robEntries = 352;
+    p.lsqEntries = 256;
+    p.ghz = 3.0;
+    return p;
+}
+
+} // namespace umany

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Static per-core microarchitecture parameters (Table 2) and the
+ * presets for the three evaluated machines.
+ */
+
+#ifndef UMANY_CPU_CORE_PARAMS_HH
+#define UMANY_CPU_CORE_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace umany
+{
+
+/** Core microarchitecture parameters. */
+struct CoreParams
+{
+    std::string name = "manycore-core";
+    std::uint32_t issueWidth = 4;
+    std::uint32_t robEntries = 64;
+    std::uint32_t lsqEntries = 64;
+    double ghz = 2.0;
+};
+
+/** μManycore / ScaleOut core: ARM-A15-class, 4-issue @ 2 GHz. */
+CoreParams manycoreCoreParams();
+
+/** ServerClass core: IceLake-class, 6-issue @ 3 GHz. */
+CoreParams serverClassCoreParams();
+
+} // namespace umany
+
+#endif // UMANY_CPU_CORE_PARAMS_HH

@@ -1,0 +1,32 @@
+#include "cpu/perf_model.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+double
+effectiveIpc(const CoreParams &p)
+{
+    return std::pow(static_cast<double>(p.issueWidth), 0.06) *
+           std::pow(static_cast<double>(p.robEntries) / 64.0, 0.02);
+}
+
+double
+corePerformance(const CoreParams &p)
+{
+    return effectiveIpc(p) * std::pow(p.ghz, 0.25);
+}
+
+double
+perfFactor(const CoreParams &target, const CoreParams &reference)
+{
+    const double t = corePerformance(target);
+    if (t <= 0.0)
+        panic("non-positive core performance");
+    return corePerformance(reference) / t;
+}
+
+} // namespace umany

@@ -1,0 +1,85 @@
+#include "driver/experiment.hh"
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+RunMetrics
+runExperiment(const ServiceCatalog &catalog,
+              const ExperimentConfig &cfg, StatsDump *stats_out)
+{
+    EventQueue eq;
+    ClusterSim sim(eq, catalog, cfg.machine, cfg.cluster);
+    for (const auto &[ep, threshold] : cfg.qosThresholds)
+        sim.setQosThreshold(ep, threshold);
+
+    LoadGenParams lp;
+    lp.rps = cfg.rpsPerServer *
+             static_cast<double>(cfg.cluster.numServers);
+    lp.kind = cfg.arrivals;
+    lp.start = 0;
+    lp.stop = cfg.warmup + cfg.measure;
+    lp.seed = cfg.seed;
+    LoadGenerator gen(eq, catalog, lp, [&sim](ServiceId ep) {
+        sim.submitRoot(ep);
+    });
+    gen.start();
+
+    sim.setRecording(false);
+    eq.schedule(cfg.warmup, [&sim]() { sim.setRecording(true); });
+
+    // Run through the load window, then drain in-flight requests
+    // (bounded, so saturated configurations still terminate).
+    const bool drained =
+        eq.runUntil(cfg.warmup + cfg.measure + cfg.drainLimit);
+    if (!drained) {
+        warn("experiment '%s' hit the drain limit with %zu events "
+             "and %llu requests pending",
+             cfg.machine.name.c_str(), eq.size(),
+             static_cast<unsigned long long>(
+                 sim.requestsInFlight()));
+    }
+
+    if (stats_out != nullptr)
+        *stats_out = collectStats(sim);
+    return collectMetrics(sim, catalog, cfg.measure,
+                          cfg.rpsPerServer);
+}
+
+std::map<ServiceId, Tick>
+contentionFreeAverages(const ServiceCatalog &catalog,
+                       const ExperimentConfig &base)
+{
+    ExperimentConfig cfg = base;
+    cfg.machine.icnContention = false;
+    cfg.rpsPerServer = 200.0;
+    cfg.warmup = fromMs(5.0);
+    cfg.measure = fromMs(400.0);
+    cfg.qosThresholds.clear();
+
+    EventQueue eq;
+    ClusterSim sim(eq, catalog, cfg.machine, cfg.cluster);
+
+    LoadGenParams lp;
+    lp.rps = cfg.rpsPerServer *
+             static_cast<double>(cfg.cluster.numServers);
+    lp.stop = cfg.warmup + cfg.measure;
+    lp.seed = cfg.seed ^ 0xc0ffeeull;
+    LoadGenerator gen(eq, catalog, lp, [&sim](ServiceId ep) {
+        sim.submitRoot(ep);
+    });
+    gen.start();
+    sim.setRecording(false);
+    eq.schedule(cfg.warmup, [&sim]() { sim.setRecording(true); });
+    eq.runUntil(cfg.warmup + cfg.measure + cfg.drainLimit);
+
+    std::map<ServiceId, Tick> avgs;
+    for (const ServiceId ep : catalog.endpoints()) {
+        avgs[ep] = static_cast<Tick>(
+            sim.endpointLatency(ep).mean());
+    }
+    return avgs;
+}
+
+} // namespace umany

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Experiment runner: builds a cluster, applies load, trims warmup,
+ * drains, and collects metrics. Every evaluation bench goes through
+ * this entry point so methodology is identical across figures.
+ */
+
+#ifndef UMANY_DRIVER_EXPERIMENT_HH
+#define UMANY_DRIVER_EXPERIMENT_HH
+
+#include <map>
+
+#include "arch/cluster_sim.hh"
+#include "driver/metrics.hh"
+#include "stats/stats_dump.hh"
+#include "workload/loadgen.hh"
+
+namespace umany
+{
+
+/** One experiment's configuration. */
+struct ExperimentConfig
+{
+    MachineParams machine;
+    ClusterSimParams cluster;
+    /** Offered load per server, requests per second. */
+    double rpsPerServer = 5000.0;
+    ArrivalKind arrivals = ArrivalKind::Poisson;
+    Tick warmup = fromMs(40.0);
+    Tick measure = fromMs(400.0);
+    /** Hard cap on post-load drain (bounds saturated runs). */
+    Tick drainLimit = fromSec(3.0);
+    std::uint64_t seed = 0xfeedbeefull;
+    /** Optional per-endpoint QoS thresholds (§6.5). */
+    std::map<ServiceId, Tick> qosThresholds;
+};
+
+/**
+ * Run one experiment to completion and collect metrics.
+ * @param stats_out When non-null, also filled with the full
+ *        gem5-style statistics dump of the finished simulation.
+ */
+RunMetrics runExperiment(const ServiceCatalog &catalog,
+                         const ExperimentConfig &cfg,
+                         StatsDump *stats_out = nullptr);
+
+/**
+ * Contention-free per-endpoint average execution time: a low-load
+ * run with ICN contention disabled. Used to derive the §6.5 QoS
+ * thresholds (5x this average).
+ */
+std::map<ServiceId, Tick>
+contentionFreeAverages(const ServiceCatalog &catalog,
+                       const ExperimentConfig &base);
+
+} // namespace umany
+
+#endif // UMANY_DRIVER_EXPERIMENT_HH

@@ -1,0 +1,79 @@
+#include "driver/metrics.hh"
+
+#include <algorithm>
+
+namespace umany
+{
+
+double
+RunMetrics::qosViolationRate() const
+{
+    if (observed == 0)
+        return 0.0;
+    return static_cast<double>(qosViolations + rejected) /
+           static_cast<double>(observed);
+}
+
+double
+RunMetrics::rejectionRate() const
+{
+    if (observed == 0)
+        return 0.0;
+    return static_cast<double>(rejected) /
+           static_cast<double>(observed);
+}
+
+LatencyStats
+latencyStatsFrom(const Histogram &h)
+{
+    LatencyStats s;
+    s.samples = h.count();
+    s.avgMs = toMs(static_cast<Tick>(h.mean()));
+    s.p50Ms = toMs(h.p50());
+    s.p99Ms = toMs(h.p99());
+    return s;
+}
+
+RunMetrics
+collectMetrics(ClusterSim &sim, const ServiceCatalog &catalog,
+               Tick measure_time, double offered_rps)
+{
+    RunMetrics m;
+    for (const ServiceId ep : catalog.endpoints()) {
+        m.perEndpoint[catalog.at(ep).name] =
+            latencyStatsFrom(sim.endpointLatency(ep));
+    }
+    m.overall = latencyStatsFrom(sim.allLatency());
+    m.completed = sim.completedRoots();
+    m.rejected = sim.rejectedRoots();
+    m.qosViolations = sim.qosViolations();
+    m.observed = sim.observedRoots();
+    m.offeredRps = offered_rps;
+    if (measure_time > 0) {
+        m.throughputRps =
+            static_cast<double>(m.completed) /
+            (static_cast<double>(measure_time) /
+             static_cast<double>(tickPerSec));
+    }
+
+    double util = 0.0;
+    double link = 0.0;
+    double disp = 0.0;
+    std::uint64_t msgs = 0;
+    for (ServerId s = 0; s < sim.numServers(); ++s) {
+        util += sim.machine(s).avgCoreUtilization();
+        link += sim.machine(s).network().meanLinkUtilization();
+        disp += sim.machine(s).dispatcherUtilization();
+        m.maxLinkUtilization = std::max(
+            m.maxLinkUtilization,
+            sim.machine(s).network().maxLinkUtilization());
+        msgs += sim.machine(s).network().messagesDelivered();
+    }
+    m.avgCoreUtilization = util / sim.numServers();
+    m.dispatcherUtilization = disp / sim.numServers();
+    m.meanLinkUtilization = link / sim.numServers();
+    m.icnMessages = msgs;
+    return m;
+}
+
+} // namespace umany

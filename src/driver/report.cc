@@ -1,0 +1,75 @@
+#include "driver/report.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "sim/logging.hh"
+#include "stats/table.hh"
+
+namespace umany
+{
+
+void
+printNormalizedByApp(
+    const std::string &title,
+    const std::vector<std::string> &series_names,
+    const std::vector<RunMetrics> &series,
+    const std::function<double(const LatencyStats &)> &value,
+    const std::string &abs_unit)
+{
+    if (series.empty() || series_names.size() != series.size())
+        panic("printNormalizedByApp: series mismatch");
+
+    std::printf("== %s ==\n", title.c_str());
+    std::vector<std::string> headers{"app"};
+    headers.push_back(series_names[0] + " (" + abs_unit + ")");
+    for (std::size_t i = 0; i < series_names.size(); ++i)
+        headers.push_back(series_names[i] + " (norm)");
+
+    Table t(headers);
+    for (const auto &[app, base_stats] : series[0].perEndpoint) {
+        const double base = value(base_stats);
+        std::vector<std::string> row{app, Table::num(base, 3)};
+        for (const auto &m : series) {
+            const auto it = m.perEndpoint.find(app);
+            const double v =
+                it == m.perEndpoint.end() ? 0.0 : value(it->second);
+            row.push_back(
+                base > 0.0 ? Table::num(v / base, 3) : "n/a");
+        }
+        t.addRow(std::move(row));
+    }
+    std::printf("%s", t.format().c_str());
+
+    // Summary: mean reduction vs the first series.
+    for (std::size_t i = 1; i < series.size(); ++i) {
+        const double r =
+            meanReduction(series[0], series[i], value);
+        std::printf("mean reduction %s vs %s: %.2fx\n",
+                    series_names[0].c_str(),
+                    series_names[i].c_str(), r);
+    }
+    std::printf("\n");
+}
+
+double
+meanReduction(const RunMetrics &baseline, const RunMetrics &other,
+              const std::function<double(const LatencyStats &)> &value)
+{
+    double log_sum = 0.0;
+    std::size_t n = 0;
+    for (const auto &[app, base_stats] : baseline.perEndpoint) {
+        const auto it = other.perEndpoint.find(app);
+        if (it == other.perEndpoint.end())
+            continue;
+        const double b = value(base_stats);
+        const double o = value(it->second);
+        if (b <= 0.0 || o <= 0.0)
+            continue;
+        log_sum += std::log(b / o);
+        ++n;
+    }
+    return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
+}
+
+} // namespace umany

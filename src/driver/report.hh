@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reporting helpers shared by the figure-reproduction benches:
+ * normalized-by-app tables in the style of the paper's bar charts.
+ */
+
+#ifndef UMANY_DRIVER_REPORT_HH
+#define UMANY_DRIVER_REPORT_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "driver/metrics.hh"
+
+namespace umany
+{
+
+/**
+ * Print a figure block: a header line ("== Fig 14a ... ==") and a
+ * table of one row per app with one column per series, normalized
+ * to the first series (matching the paper's normalized bars), plus
+ * the first series' absolute values.
+ *
+ * @param value Extracts the plotted scalar from a LatencyStats.
+ */
+void printNormalizedByApp(
+    const std::string &title,
+    const std::vector<std::string> &series_names,
+    const std::vector<RunMetrics> &series,
+    const std::function<double(const LatencyStats &)> &value,
+    const std::string &abs_unit);
+
+/** Geometric-mean ratio of series[0]/series[i] per app (summary). */
+double
+meanReduction(const RunMetrics &baseline, const RunMetrics &other,
+              const std::function<double(const LatencyStats &)> &value);
+
+} // namespace umany
+
+#endif // UMANY_DRIVER_REPORT_HH

@@ -1,0 +1,34 @@
+#include "mem/coherence.hh"
+
+namespace umany
+{
+
+Cycles
+CoherenceModel::directoryOverhead() const
+{
+    return p_.scope == CoherenceScope::Global ? p_.directoryCycles : 0;
+}
+
+std::uint64_t
+CoherenceModel::migrationBytes(bool same_l2) const
+{
+    if (same_l2) {
+        // The shared L2 retains the warm set; only L1 refill
+        // traffic remains, which the L2 absorbs locally.
+        return 0;
+    }
+    return static_cast<std::uint64_t>(
+        p_.migrationRefetchFraction *
+        static_cast<double>(p_.warmSetBytes));
+}
+
+bool
+CoherenceModel::migrationAllowed(VillageId src, VillageId dst) const
+{
+    if (p_.scope == CoherenceScope::Global)
+        return true;
+    // Village scope: a request may only resume inside its village.
+    return src == dst;
+}
+
+} // namespace umany

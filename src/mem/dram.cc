@@ -1,0 +1,103 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+Dram::Dram(const DramParams &p) : p_(p)
+{
+    if (p_.channels == 0 || p_.banksPerChannel == 0)
+        fatal("dram needs channels and banks");
+    banks_.assign(
+        static_cast<std::size_t>(p_.channels) * p_.banksPerChannel,
+        Bank{});
+    channelBusFree_.assign(p_.channels, 0);
+}
+
+std::uint32_t
+Dram::channelOf(std::uint64_t addr) const
+{
+    // Channel interleave on access granule for load spreading.
+    return static_cast<std::uint32_t>((addr / p_.accessBytes) %
+                                      p_.channels);
+}
+
+std::uint32_t
+Dram::bankOf(std::uint64_t addr) const
+{
+    return static_cast<std::uint32_t>((addr / p_.rowBytes) %
+                                      p_.banksPerChannel);
+}
+
+std::uint64_t
+Dram::rowOf(std::uint64_t addr) const
+{
+    return addr / p_.rowBytes;
+}
+
+Tick
+Dram::idealLatency() const
+{
+    const double transfer_ns =
+        static_cast<double>(p_.accessBytes) / p_.busGBs;
+    return fromNs(p_.tCasNs + transfer_ns);
+}
+
+Tick
+Dram::access(Tick when, std::uint64_t addr)
+{
+    ++requests_;
+    const std::uint32_t ch = channelOf(addr);
+    const std::uint32_t bk = bankOf(addr);
+    Bank &bank = banks_[static_cast<std::size_t>(ch) *
+                            p_.banksPerChannel + bk];
+
+    // Wait for the bank to accept the command.
+    Tick start = std::max(when, bank.readyAt);
+
+    const std::uint64_t row = rowOf(addr);
+    double core_ns;
+    if (bank.openRow == row) {
+        ++rowHits_;
+        core_ns = p_.tCasNs;
+    } else {
+        core_ns = p_.tRpNs + p_.tRcdNs + p_.tCasNs;
+        bank.openRow = row;
+    }
+
+    // Data transfer occupies the channel bus.
+    const double transfer_ns =
+        static_cast<double>(p_.accessBytes) / p_.busGBs;
+    const Tick data_ready = start + fromNs(core_ns);
+    const Tick bus_start =
+        std::max(data_ready, channelBusFree_[ch]);
+    const Tick done = bus_start + fromNs(transfer_ns);
+
+    channelBusFree_[ch] = done;
+    bank.readyAt = data_ready;
+
+    latency_.add(done - when);
+    return done;
+}
+
+double
+Dram::rowHitRate() const
+{
+    if (requests_ == 0)
+        return 0.0;
+    return static_cast<double>(rowHits_) /
+           static_cast<double>(requests_);
+}
+
+void
+Dram::clearStats()
+{
+    requests_ = 0;
+    rowHits_ = 0;
+    latency_.clear();
+}
+
+} // namespace umany

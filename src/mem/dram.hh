@@ -1,0 +1,87 @@
+/**
+ * @file
+ * DRAMSim2-lite: bank/channel main-memory timing model.
+ *
+ * Models the Table-2 main memory (4 channels, 8 banks, DDR @1 GHz,
+ * 8 controllers) at the level that matters for this evaluation:
+ * row-buffer hits vs conflicts, per-bank busy windows, and channel
+ * bus occupancy under load.
+ */
+
+#ifndef UMANY_MEM_DRAM_HH
+#define UMANY_MEM_DRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+#include "stats/histogram.hh"
+
+namespace umany
+{
+
+/** DRAM timing/geometry parameters. */
+struct DramParams
+{
+    std::uint32_t channels = 4;
+    std::uint32_t banksPerChannel = 8;
+    std::uint32_t rowBytes = 8192;       //!< Row buffer size.
+    double busGBs = 25.6;                //!< Per-channel bus bandwidth.
+    std::uint32_t accessBytes = 64;      //!< Transfer granule.
+    // Timings in nanoseconds (DDR @ 1 GHz data rate, Table 2).
+    double tCasNs = 14.0;  //!< Column access (row hit).
+    double tRcdNs = 14.0;  //!< Row activate.
+    double tRpNs = 14.0;   //!< Precharge (row conflict adds RP+RCD).
+};
+
+/**
+ * Main-memory timing model. Calls are made in simulated-time order
+ * per channel; the model keeps per-bank open rows and busy windows
+ * and returns the completion time of each access.
+ */
+class Dram
+{
+  public:
+    explicit Dram(const DramParams &p);
+
+    /**
+     * Issue a read/write of accessBytes at @p addr arriving at
+     * @p when.
+     * @return Completion tick (>= when).
+     */
+    Tick access(Tick when, std::uint64_t addr);
+
+    /** Latency (ticks) an idle row-hit access would take. */
+    Tick idealLatency() const;
+
+    const DramParams &params() const { return p_; }
+    std::uint64_t requests() const { return requests_; }
+    double rowHitRate() const;
+    const Histogram &latencyHist() const { return latency_; }
+
+    void clearStats();
+
+  private:
+    DramParams p_;
+
+    struct Bank
+    {
+        std::uint64_t openRow = ~0ull;
+        Tick readyAt = 0;
+    };
+    std::vector<Bank> banks_;          //!< [channel * banks + bank]
+    std::vector<Tick> channelBusFree_; //!< [channel]
+
+    std::uint64_t requests_ = 0;
+    std::uint64_t rowHits_ = 0;
+    Histogram latency_;
+
+    std::uint32_t channelOf(std::uint64_t addr) const;
+    std::uint32_t bankOf(std::uint64_t addr) const;
+    std::uint64_t rowOf(std::uint64_t addr) const;
+};
+
+} // namespace umany
+
+#endif // UMANY_MEM_DRAM_HH

@@ -1,0 +1,151 @@
+#include "mem/footprint.hh"
+
+#include <algorithm>
+
+namespace umany
+{
+
+namespace
+{
+
+constexpr std::uint64_t pageBytes = 4096;
+constexpr std::uint64_t lineBytes = 64;
+
+std::vector<std::uint64_t>
+pagesOf(const std::vector<std::uint64_t> &lines)
+{
+    std::vector<std::uint64_t> pages;
+    pages.reserve(lines.size() / 8 + 1);
+    for (const std::uint64_t line : lines)
+        pages.push_back(line * lineBytes / pageBytes);
+    std::sort(pages.begin(), pages.end());
+    pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+    return pages;
+}
+
+void
+normalize(std::vector<std::uint64_t> &v)
+{
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+} // namespace
+
+std::vector<std::uint64_t>
+Footprint::dataPages() const
+{
+    return pagesOf(dataLines);
+}
+
+std::vector<std::uint64_t>
+Footprint::instrPages() const
+{
+    return pagesOf(instrLines);
+}
+
+std::uint64_t
+Footprint::bytes() const
+{
+    return (dataLines.size() + instrLines.size()) * lineBytes;
+}
+
+FootprintGenerator::FootprintGenerator(const FootprintProfile &profile,
+                                       std::uint64_t seed)
+    : profile_(profile), rng_(seed)
+{
+    // Carve disjoint address regions: shared data, shared code, and
+    // a growing private arena.
+    sharedDataBase_ = 0x1000000ull;
+    sharedInstrBase_ = 0x8000000ull;
+    nextPrivatePage_ = 0x10000000ull / pageBytes;
+}
+
+Footprint
+FootprintGenerator::initFootprint() const
+{
+    // Initialization touches every line of all shared state.
+    Footprint fp;
+    const std::uint64_t lpp = FootprintProfile::linesPerPage;
+    for (std::uint32_t p = 0; p < profile_.sharedDataPages; ++p) {
+        const std::uint64_t page =
+            (sharedDataBase_ / pageBytes) + p;
+        for (std::uint64_t l = 0; l < lpp; ++l)
+            fp.dataLines.push_back(page * lpp + l);
+    }
+    for (std::uint32_t p = 0; p < profile_.sharedInstrPages; ++p) {
+        const std::uint64_t page =
+            (sharedInstrBase_ / pageBytes) + p;
+        for (std::uint64_t l = 0; l < lpp; ++l)
+            fp.instrLines.push_back(page * lpp + l);
+    }
+    return fp;
+}
+
+Footprint
+FootprintGenerator::makeHandler()
+{
+    Footprint fp;
+    const std::uint64_t lpp = FootprintProfile::linesPerPage;
+
+    // Shared data: per-page coverage, per-line density.
+    for (std::uint32_t p = 0; p < profile_.sharedDataPages; ++p) {
+        if (!rng_.chance(profile_.sharedPageCoverage))
+            continue;
+        const std::uint64_t page = (sharedDataBase_ / pageBytes) + p;
+        for (std::uint64_t l = 0; l < lpp; ++l) {
+            if (rng_.chance(profile_.sharedDataLineDensity))
+                fp.dataLines.push_back(page * lpp + l);
+        }
+    }
+    // Shared instructions: handlers run nearly identical code.
+    for (std::uint32_t p = 0; p < profile_.sharedInstrPages; ++p) {
+        if (!rng_.chance(profile_.sharedPageCoverage))
+            continue;
+        const std::uint64_t page = (sharedInstrBase_ / pageBytes) + p;
+        for (std::uint64_t l = 0; l < lpp; ++l) {
+            if (rng_.chance(profile_.sharedInstrLineDensity))
+                fp.instrLines.push_back(page * lpp + l);
+        }
+    }
+    // Private state: fresh pages, fully touched.
+    for (std::uint32_t p = 0; p < profile_.privateDataPages; ++p) {
+        const std::uint64_t page = nextPrivatePage_++;
+        for (std::uint64_t l = 0; l < lpp; ++l)
+            fp.dataLines.push_back(page * lpp + l);
+    }
+    for (std::uint32_t p = 0; p < profile_.privateInstrPages; ++p) {
+        const std::uint64_t page = nextPrivatePage_++;
+        for (std::uint64_t l = 0; l < lpp; ++l)
+            fp.instrLines.push_back(page * lpp + l);
+    }
+
+    normalize(fp.dataLines);
+    normalize(fp.instrLines);
+    return fp;
+}
+
+double
+FootprintGenerator::commonFraction(const std::vector<std::uint64_t> &a,
+                                   const std::vector<std::uint64_t> &b)
+{
+    if (a.empty())
+        return 0.0;
+    std::size_t common = 0;
+    auto ia = a.begin();
+    auto ib = b.begin();
+    while (ia != a.end() && ib != b.end()) {
+        if (*ia == *ib) {
+            ++common;
+            ++ia;
+            ++ib;
+        } else if (*ia < *ib) {
+            ++ia;
+        } else {
+            ++ib;
+        }
+    }
+    return static_cast<double>(common) / static_cast<double>(a.size());
+}
+
+} // namespace umany

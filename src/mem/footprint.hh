@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Handler memory-footprint model (Section 3.5 / Fig 8).
+ *
+ * A service instance has an initialization footprint (container,
+ * runtime, libraries). Each request handler touches a small (≈0.5 MB)
+ * footprint that heavily overlaps other handlers of the same
+ * instance and the initialization state: 78–99% of pages/lines are
+ * common. The generator produces concrete page/line sets so overlap
+ * can be *measured*, and so the cache hierarchy (Fig 9) can be driven
+ * with realistic address streams.
+ */
+
+#ifndef UMANY_MEM_FOOTPRINT_HH
+#define UMANY_MEM_FOOTPRINT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace umany
+{
+
+/** A concrete memory footprint as sorted unique line addresses. */
+struct Footprint
+{
+    std::vector<std::uint64_t> dataLines;  //!< 64 B line addresses.
+    std::vector<std::uint64_t> instrLines;
+
+    /** Distinct 4 KB pages covering the data lines. */
+    std::vector<std::uint64_t> dataPages() const;
+    /** Distinct 4 KB pages covering the instruction lines. */
+    std::vector<std::uint64_t> instrPages() const;
+
+    /** Total bytes (64 B per line). */
+    std::uint64_t bytes() const;
+};
+
+/** Parameters of a service's footprint behaviour. */
+struct FootprintProfile
+{
+    // Shared (read-mostly) state of the instance.
+    std::uint32_t sharedDataPages = 96;   //!< ≈384 KB shared data.
+    std::uint32_t sharedInstrPages = 40;  //!< ≈160 KB shared code.
+    // Private per-handler state.
+    std::uint32_t privateDataPages = 6;
+    std::uint32_t privateInstrPages = 1;
+    /** Fraction of each shared data page's lines a handler reads. */
+    double sharedDataLineDensity = 0.88;
+    /** Fraction of each shared instr page's lines a handler runs. */
+    double sharedInstrLineDensity = 0.97;
+    /** Probability a handler touches a given shared page at all. */
+    double sharedPageCoverage = 0.96;
+    /** Lines per page (4096/64). */
+    static constexpr std::uint32_t linesPerPage = 64;
+};
+
+/**
+ * Generates correlated handler/initialization footprints for one
+ * service instance.
+ */
+class FootprintGenerator
+{
+  public:
+    FootprintGenerator(const FootprintProfile &profile,
+                       std::uint64_t seed);
+
+    /** Footprint of the instance's initialization process. */
+    Footprint initFootprint() const;
+
+    /** Footprint of one request handler (fresh randomness). */
+    Footprint makeHandler();
+
+    const FootprintProfile &profile() const { return profile_; }
+
+    /**
+     * |a ∩ b| / |a| over the given sorted unique address lists —
+     * the "Common" fraction in Fig 8.
+     */
+    static double commonFraction(const std::vector<std::uint64_t> &a,
+                                 const std::vector<std::uint64_t> &b);
+
+  private:
+    FootprintProfile profile_;
+    Rng rng_;
+    std::uint64_t nextPrivatePage_;
+    // Fixed base addresses so footprints of the same instance
+    // overlap structurally.
+    std::uint64_t sharedDataBase_;
+    std::uint64_t sharedInstrBase_;
+};
+
+} // namespace umany
+
+#endif // UMANY_MEM_FOOTPRINT_HH

@@ -1,0 +1,72 @@
+#include "mem/memory_pool.hh"
+
+#include <algorithm>
+
+namespace umany
+{
+
+MemoryPool::MemoryPool(const MemoryPoolParams &p) : p_(p) {}
+
+bool
+MemoryPool::storeSnapshot(ServiceId service, std::uint64_t bytes)
+{
+    auto it = snapshots_.find(service);
+    if (it != snapshots_.end()) {
+        // Already resident: treat as refresh.
+        return true;
+    }
+    if (used_ + bytes > p_.capacityBytes)
+        return false;
+    snapshots_.emplace(service, bytes);
+    used_ += bytes;
+    return true;
+}
+
+bool
+MemoryPool::hasSnapshot(ServiceId service) const
+{
+    return snapshots_.count(service) != 0;
+}
+
+std::uint64_t
+MemoryPool::snapshotBytes(ServiceId service) const
+{
+    auto it = snapshots_.find(service);
+    return it == snapshots_.end() ? 0 : it->second;
+}
+
+void
+MemoryPool::dropSnapshot(ServiceId service)
+{
+    auto it = snapshots_.find(service);
+    if (it == snapshots_.end())
+        return;
+    used_ -= it->second;
+    snapshots_.erase(it);
+}
+
+Tick
+MemoryPool::transfer(Tick when, std::uint64_t bytes, double gbs,
+                     Tick &engine_free)
+{
+    ++transfers_;
+    const Tick start = std::max(when, engine_free) + p_.accessLatency;
+    const double ns = static_cast<double>(bytes) / gbs;
+    const Tick done = start + fromNs(ns);
+    engine_free = done;
+    return done;
+}
+
+Tick
+MemoryPool::lmemTransfer(Tick when, std::uint64_t bytes)
+{
+    return transfer(when, bytes, p_.lmemGBs, lmemFree_);
+}
+
+Tick
+MemoryPool::rmemTransfer(Tick when, std::uint64_t bytes)
+{
+    return transfer(when, bytes, p_.rmemGBs, rmemFree_);
+}
+
+} // namespace umany

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Per-cluster shared read-mostly SRAM memory pool (Section 4.1).
+ *
+ * Stores service snapshots so new instances skip boot/initialization
+ * (300 ms -> <10 ms per Catalyzer-style measurements cited in §3.5),
+ * and exposes bulk-transfer engines: L-MEM (on-package) and R-MEM
+ * (off-package) move data chunks with bandwidth-limited occupancy.
+ */
+
+#ifndef UMANY_MEM_MEMORY_POOL_HH
+#define UMANY_MEM_MEMORY_POOL_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace umany
+{
+
+/** Memory pool geometry and timing. */
+struct MemoryPoolParams
+{
+    std::uint64_t capacityBytes = 256ull * 1024 * 1024;
+    Tick accessLatency = 10 * tickPerNs; //!< SRAM random access.
+    double lmemGBs = 100.0; //!< On-package bulk engine bandwidth.
+    double rmemGBs = 25.0;  //!< Off-package bulk engine bandwidth.
+};
+
+/**
+ * A cluster's snapshot store + bulk transfer engines.
+ *
+ * Snapshots are registered by service id with a size; reads return
+ * the tick at which the transfer completes, serializing on the
+ * relevant engine.
+ */
+class MemoryPool
+{
+  public:
+    explicit MemoryPool(const MemoryPoolParams &p);
+
+    /**
+     * Register a snapshot. Fails (returns false) when capacity is
+     * exhausted — the caller then places the instance elsewhere.
+     */
+    bool storeSnapshot(ServiceId service, std::uint64_t bytes);
+
+    /** True when a snapshot for @p service is resident. */
+    bool hasSnapshot(ServiceId service) const;
+
+    /** Size of a resident snapshot (0 when absent). */
+    std::uint64_t snapshotBytes(ServiceId service) const;
+
+    /** Remove a snapshot, freeing capacity. */
+    void dropSnapshot(ServiceId service);
+
+    /**
+     * Bulk-read @p bytes via the on-package L-MEM engine starting
+     * at @p when.
+     * @return Completion tick.
+     */
+    Tick lmemTransfer(Tick when, std::uint64_t bytes);
+
+    /** Bulk transfer via the off-package R-MEM engine. */
+    Tick rmemTransfer(Tick when, std::uint64_t bytes);
+
+    std::uint64_t usedBytes() const { return used_; }
+    std::uint64_t capacityBytes() const { return p_.capacityBytes; }
+    std::uint64_t transfers() const { return transfers_; }
+
+  private:
+    MemoryPoolParams p_;
+    std::unordered_map<ServiceId, std::uint64_t> snapshots_;
+    std::uint64_t used_ = 0;
+    Tick lmemFree_ = 0;
+    Tick rmemFree_ = 0;
+    std::uint64_t transfers_ = 0;
+
+    Tick transfer(Tick when, std::uint64_t bytes, double gbs,
+                  Tick &engine_free);
+};
+
+} // namespace umany
+
+#endif // UMANY_MEM_MEMORY_POOL_HH

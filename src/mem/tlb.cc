@@ -1,0 +1,29 @@
+#include "mem/tlb.hh"
+
+namespace umany
+{
+
+CacheParams
+Tlb::asCacheParams(const TlbParams &p)
+{
+    CacheParams cp;
+    cp.name = p.name;
+    cp.lineBytes = p.pageBytes;
+    cp.ways = p.ways;
+    // Round down to a whole number of sets (Table 2's 2048-entry
+    // 12-way L2 TLB is not evenly divisible).
+    const std::uint32_t entries = p.entries - p.entries % p.ways;
+    cp.sizeBytes = static_cast<std::uint64_t>(entries) * p.pageBytes;
+    cp.roundTripCycles = p.roundTripCycles;
+    return cp;
+}
+
+Tlb::Tlb(const TlbParams &p) : p_(p), cache_(asCacheParams(p)) {}
+
+bool
+Tlb::access(std::uint64_t addr)
+{
+    return cache_.access(addr);
+}
+
+} // namespace umany

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Binary fat-tree topology (the ScaleOut baseline ICN).
+ *
+ * Per Section 5 of the paper: 32 leaf network hubs, 63 NHs total
+ * (32+16+8+4+2+1), longest NH-to-NH path 10 hops. Link bandwidth
+ * doubles per level up ("fat"), but paths are unique, so traffic
+ * with shared ancestors contends — the effect Fig 7 quantifies.
+ */
+
+#ifndef UMANY_NOC_FAT_TREE_HH
+#define UMANY_NOC_FAT_TREE_HH
+
+#include "noc/topology.hh"
+
+namespace umany
+{
+
+/** Parameters for the binary fat tree. */
+struct FatTreeParams
+{
+    std::uint32_t numLeaves = 32;      //!< Must be a power of two.
+    std::uint32_t endpointsPerLeaf = 5; //!< Villages + pool per cluster.
+    Tick hopLatency = 2500;             //!< 5 cycles @ 2 GHz.
+    double bytesPerTick = 0.032;        //!< Leaf-level link width.
+    double fattening = 2.0;             //!< Bandwidth factor per level.
+};
+
+/**
+ * Binary fat tree over numLeaves leaf NHs, with endpointsPerLeaf
+ * endpoints attached to each leaf via access links, and a package
+ * top-level NIC attached to the root.
+ */
+class FatTree : public Topology
+{
+  public:
+    explicit FatTree(const FatTreeParams &p);
+
+    std::string name() const override { return "fat-tree"; }
+    std::size_t endpointCount() const override;
+    EndpointId externalEndpoint() const override;
+
+    void route(EndpointId src, EndpointId dst, Rng &rng,
+               std::vector<LinkId> &out) const override;
+
+    std::uint32_t numLeaves() const { return p_.numLeaves; }
+    std::uint32_t numSwitches() const { return numSwitches_; }
+
+  private:
+    FatTreeParams p_;
+    std::uint32_t levels_ = 0;       //!< Tree levels above leaves.
+    std::uint32_t numSwitches_ = 0;  //!< Total NH count.
+
+    // up_[node], down_[node] are the LinkIds to/from the parent.
+    std::vector<LinkId> up_;
+    std::vector<LinkId> down_;
+    // accessUp_/accessDown_ indexed by endpoint.
+    std::vector<LinkId> accessUp_;
+    std::vector<LinkId> accessDown_;
+    LinkId nicUp_ = invalidId;   //!< root -> NIC direction link.
+    LinkId nicDown_ = invalidId; //!< NIC -> root direction link.
+
+    std::uint32_t leafOf(EndpointId ep) const;
+    std::uint32_t parentOf(std::uint32_t node) const;
+    std::uint32_t levelOf(std::uint32_t node) const;
+};
+
+} // namespace umany
+
+#endif // UMANY_NOC_FAT_TREE_HH

@@ -1,0 +1,17 @@
+#include "noc/link.hh"
+
+#include <cmath>
+
+namespace umany
+{
+
+Tick
+LinkSpec::serializationTime(std::uint32_t b) const
+{
+    if (bytesPerTick <= 0.0)
+        return 0;
+    return static_cast<Tick>(
+        std::ceil(static_cast<double>(b) / bytesPerTick));
+}
+
+} // namespace umany

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * 2D mesh topology with XY dimension-order routing (the ServerClass
+ * baseline ICN, Table 2; also the "2D mesh" variant of Fig 7).
+ *
+ * Every grid node is a router; endpoints attach to routers via
+ * access links (endpointsPerNode per router), and an external
+ * endpoint (the package NIC) attaches at node 0.
+ */
+
+#ifndef UMANY_NOC_MESH_HH
+#define UMANY_NOC_MESH_HH
+
+#include "noc/topology.hh"
+
+namespace umany
+{
+
+/** Parameters for a 2D mesh. */
+struct MeshParams
+{
+    std::uint32_t width = 8;
+    std::uint32_t height = 5;
+    std::uint32_t endpointsPerNode = 1;
+    Tick hopLatency = 1667;      //!< 5 cycles @ 3 GHz.
+    double bytesPerTick = 0.032; //!< 64 B / 2 ns links.
+};
+
+/** Width x height mesh with attached endpoints. */
+class Mesh2D : public Topology
+{
+  public:
+    explicit Mesh2D(const MeshParams &p);
+
+    std::string name() const override { return "mesh2d"; }
+    std::size_t endpointCount() const override;
+    EndpointId externalEndpoint() const override;
+
+    void route(EndpointId src, EndpointId dst, Rng &rng,
+               std::vector<LinkId> &out) const override;
+
+    std::uint32_t width() const { return p_.width; }
+    std::uint32_t height() const { return p_.height; }
+
+  private:
+    enum Dir { east, west, north, south };
+
+    MeshParams p_;
+    // linkAt_[node * 4 + dir] == LinkId or invalidId.
+    std::vector<LinkId> linkAt_;
+    std::vector<LinkId> accessUp_;   //!< [endpoint] to its router.
+    std::vector<LinkId> accessDown_; //!< [endpoint] from its router.
+    LinkId nicUp_ = invalidId;       //!< node0 -> external NIC.
+    LinkId nicDown_ = invalidId;     //!< external NIC -> node0.
+
+    std::uint32_t nodeAt(std::uint32_t x, std::uint32_t y) const;
+    std::uint32_t nodeOf(EndpointId ep) const;
+    LinkId linkFrom(std::uint32_t node, Dir d) const;
+    void routerPath(std::uint32_t from, std::uint32_t to,
+                    std::vector<LinkId> &out) const;
+};
+
+} // namespace umany
+
+#endif // UMANY_NOC_MESH_HH

@@ -1,0 +1,130 @@
+#include "noc/network.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+Network::Network(std::string name, EventQueue &eq, const Topology &topo,
+                 std::uint64_t seed)
+    : SimObject(std::move(name), eq), topo_(topo), rng_(seed)
+{
+    state_.assign(topo_.links().size(), LinkState{});
+}
+
+void
+Network::send(const Message &msg, DeliverFn on_deliver)
+{
+    ++sent_;
+    auto flight = std::make_unique<Flight>();
+    flight->msg = msg;
+    flight->start = curTick();
+    flight->deliver = std::move(on_deliver);
+    topo_.route(msg.src, msg.dst, rng_, flight->path);
+    if (flight->path.empty()) {
+        // Same-endpoint delivery: immediate.
+        ++delivered_;
+        latency_.add(0);
+        queueDelay_.add(0);
+        auto deliver = std::move(flight->deliver);
+        eventq().scheduleAfter(0, std::move(deliver));
+        return;
+    }
+    hop(std::move(flight));
+}
+
+void
+Network::hop(std::unique_ptr<Flight> flight)
+{
+    const LinkId id = flight->path[flight->hop];
+    const LinkSpec &spec = topo_.links()[id];
+    LinkState &st = state_[id];
+
+    // Wormhole-style pipelining: the head waits for the link, the
+    // link is occupied for the serialization time, and only the
+    // last hop additionally waits for the tail to arrive.
+    const Tick ser = spec.serializationTime(flight->msg.bytes);
+    Tick depart = curTick();
+    if (contention_) {
+        depart = std::max(depart, st.busyUntil);
+        st.busyUntil = depart + ser;
+    }
+    const Tick wait = depart - curTick();
+    flight->queued += wait;
+
+    st.messages += 1;
+    st.bytes += flight->msg.bytes;
+    st.busyTime += ser;
+    st.queueDelay += wait;
+
+    const bool last_hop = flight->hop + 1 == flight->path.size();
+    const Tick arrival = depart + spec.latency + (last_hop ? ser : 0);
+    flight->hop += 1;
+
+    Flight *raw = flight.release();
+    eventq().schedule(arrival, [this, raw]() {
+        std::unique_ptr<Flight> f(raw);
+        if (f->hop >= f->path.size()) {
+            ++delivered_;
+            latency_.add(curTick() - f->start);
+            queueDelay_.add(f->queued);
+            f->deliver();
+        } else {
+            hop(std::move(f));
+        }
+    });
+}
+
+double
+Network::meanLinkUtilization() const
+{
+    const Tick now = curTick();
+    if (now == 0)
+        return 0.0;
+    double total = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < state_.size(); ++i) {
+        if (topo_.links()[i].access)
+            continue;
+        total += static_cast<double>(state_[i].busyTime) /
+                 static_cast<double>(now);
+        ++n;
+    }
+    return n ? total / static_cast<double>(n) : 0.0;
+}
+
+double
+Network::maxLinkUtilization() const
+{
+    const Tick now = curTick();
+    if (now == 0)
+        return 0.0;
+    double best = 0.0;
+    for (std::size_t i = 0; i < state_.size(); ++i) {
+        if (topo_.links()[i].access)
+            continue;
+        best = std::max(best, static_cast<double>(state_[i].busyTime) /
+                                  static_cast<double>(now));
+    }
+    return best;
+}
+
+void
+Network::clearStats()
+{
+    for (auto &st : state_) {
+        st.messages = 0;
+        st.bytes = 0;
+        st.busyTime = 0;
+        st.queueDelay = 0;
+    }
+    sent_ = 0;
+    delivered_ = 0;
+    latency_.clear();
+    queueDelay_.clear();
+}
+
+} // namespace umany

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Message-level network engine: delivers messages over a Topology,
+ * modelling per-link serialization occupancy (and hence contention
+ * and queueing) hop by hop.
+ */
+
+#ifndef UMANY_NOC_NETWORK_HH
+#define UMANY_NOC_NETWORK_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "noc/message.hh"
+#include "noc/topology.hh"
+#include "sim/rng.hh"
+#include "sim/sim_object.hh"
+#include "stats/histogram.hh"
+
+namespace umany
+{
+
+/**
+ * The on-package interconnect simulator.
+ *
+ * Contention model: each directional link keeps a busy-until time.
+ * A message leaving on a link departs at max(now, busyUntil) and
+ * occupies the link for its serialization time; arrival at the next
+ * hop adds the link latency. With contention disabled, messages see
+ * only the contention-free path latency (Fig 7's baseline).
+ */
+class Network : public SimObject
+{
+  public:
+    using DeliverFn = std::function<void()>;
+
+    /**
+     * @param topo Topology to route over; must outlive the network.
+     * @param seed RNG seed for ECMP path selection.
+     */
+    Network(std::string name, EventQueue &eq, const Topology &topo,
+            std::uint64_t seed);
+
+    /** Enable/disable link contention (enabled by default). */
+    void setContention(bool enabled) { contention_ = enabled; }
+    bool contention() const { return contention_; }
+
+    /**
+     * Send a message; @p on_deliver runs when it arrives at the
+     * destination endpoint.
+     */
+    void send(const Message &msg, DeliverFn on_deliver);
+
+    /** Contention-free latency oracle for this topology. */
+    Tick
+    idealLatency(EndpointId src, EndpointId dst,
+                 std::uint32_t bytes) const
+    {
+        return topo_.contentionFreeLatency(src, dst, bytes);
+    }
+
+    const Topology &topology() const { return topo_; }
+
+    /** @name Statistics @{ */
+    std::uint64_t messagesDelivered() const { return delivered_; }
+    std::uint64_t messagesSent() const { return sent_; }
+    const Histogram &latencyHist() const { return latency_; }
+    const Histogram &queueDelayHist() const { return queueDelay_; }
+    const std::vector<LinkState> &linkStates() const { return state_; }
+
+    /** Mean link utilization over [0, now] across non-access links. */
+    double meanLinkUtilization() const;
+
+    /** Highest single-link utilization over [0, now]. */
+    double maxLinkUtilization() const;
+    /** @} */
+
+    /** Clear statistics (not in-flight messages). */
+    void clearStats();
+
+  private:
+    const Topology &topo_;
+    Rng rng_;
+    bool contention_ = true;
+
+    std::vector<LinkState> state_;
+    std::uint64_t sent_ = 0;
+    std::uint64_t delivered_ = 0;
+    Histogram latency_;     //!< End-to-end message latency (ticks).
+    Histogram queueDelay_;  //!< Total per-message wait-for-link time.
+
+    struct Flight
+    {
+        Message msg;
+        std::vector<LinkId> path;
+        std::size_t hop = 0;
+        Tick start = 0;
+        Tick queued = 0;
+        DeliverFn deliver;
+    };
+
+    void hop(std::unique_ptr<Flight> flight);
+};
+
+} // namespace umany
+
+#endif // UMANY_NOC_NETWORK_HH

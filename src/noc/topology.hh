@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Abstract ICN topology: a set of endpoints connected by directional
+ * links, with a routing function. Concrete topologies: 2D mesh
+ * (ServerClass), fat tree (ScaleOut), hierarchical leaf-spine
+ * (μManycore).
+ */
+
+#ifndef UMANY_NOC_TOPOLOGY_HH
+#define UMANY_NOC_TOPOLOGY_HH
+
+#include <string>
+#include <vector>
+
+#include "noc/link.hh"
+#include "noc/message.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace umany
+{
+
+/**
+ * Base class for on-package topologies.
+ *
+ * Endpoints are the things machines attach (villages, memory pools,
+ * and optionally a package top-level NIC). route() returns the link
+ * sequence a message follows; topologies with path diversity (leaf-
+ * spine, fat tree with ECMP) consume randomness to pick among equal
+ * paths, which is how redundant paths reduce contention.
+ */
+class Topology
+{
+  public:
+    virtual ~Topology() = default;
+
+    /** Human-readable topology name. */
+    virtual std::string name() const = 0;
+
+    /** Number of attachable endpoints. */
+    virtual std::size_t endpointCount() const = 0;
+
+    /**
+     * Endpoint used for package-external traffic (top-level NIC),
+     * or invalidId when the topology has no such endpoint.
+     */
+    virtual EndpointId externalEndpoint() const { return invalidId; }
+
+    /**
+     * Compute the link path from @p src to @p dst.
+     *
+     * @param out Cleared and filled with the LinkIds in order.
+     */
+    virtual void route(EndpointId src, EndpointId dst, Rng &rng,
+                       std::vector<LinkId> &out) const = 0;
+
+    /** All links in the topology. */
+    const std::vector<LinkSpec> &links() const { return links_; }
+
+    /** Hop count between two endpoints (routes once, non-random
+     *  topologies are exact; ECMP ones have constant hop counts). */
+    std::size_t hopCount(EndpointId src, EndpointId dst) const;
+
+    /**
+     * Latency of a @p bytes message with zero contention.
+     * Sum over the path of (link latency + serialization).
+     */
+    Tick contentionFreeLatency(EndpointId src, EndpointId dst,
+                               std::uint32_t bytes) const;
+
+    /** Maximum hop count over sampled endpoint pairs (diameter). */
+    std::size_t diameter() const;
+
+  protected:
+    LinkId addLink(NodeId from, NodeId to, Tick latency,
+                   double bytes_per_tick, std::string label);
+
+    std::vector<LinkSpec> links_;
+};
+
+} // namespace umany
+
+#endif // UMANY_NOC_TOPOLOGY_HH

@@ -1,0 +1,45 @@
+#include "power/cacti_lite.hh"
+
+#include <cmath>
+
+#include "power/tech.hh"
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+SramEstimate
+cactiLite(const SramParams &p)
+{
+    if (p.bytes == 0 || p.assoc == 0 || p.ports == 0)
+        fatal("cactiLite: degenerate SRAM parameters");
+
+    const double mb =
+        static_cast<double>(p.bytes) / (1024.0 * 1024.0);
+
+    // 32 nm reference: ~0.171 um^2 6T bitcell, ~55% array efficiency
+    // -> ~2.6 mm^2 per MB; associativity adds comparator/mux
+    // overhead, extra ports grow the cell.
+    const double assoc_ovh =
+        1.0 + 0.03 * std::log2(static_cast<double>(p.assoc));
+    const double port_ovh = std::pow(p.ports, 1.4);
+    const double area32 = 2.6 * mb * assoc_ovh * port_ovh;
+
+    // Leakage at 32 nm: ~35 mW per MB.
+    const double leak32 = 0.035 * mb * port_ovh;
+
+    // Access latency/energy grow with array dimensions ~ sqrt(C).
+    const double lat32 = 0.45 + 0.85 * std::sqrt(mb);
+    const double en32 =
+        0.05 + 0.11 * std::sqrt(mb) * assoc_ovh;
+
+    const TechScaling s = scaleTech(32, p.nodeNm);
+    SramEstimate e;
+    e.areaMm2 = area32 * s.areaFactor;
+    e.leakageW = leak32 * s.powerFactor;
+    e.accessNs = lat32 * s.delayFactor;
+    e.accessEnergyNj = en32 * s.powerFactor;
+    return e;
+}
+
+} // namespace umany

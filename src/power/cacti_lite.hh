@@ -1,0 +1,44 @@
+/**
+ * @file
+ * CACTI-lite: analytic SRAM area / power / latency estimates. Used
+ * for cache hierarchies and the cluster memory pools when sizing the
+ * iso-power and iso-area configurations (§5, §6.8).
+ */
+
+#ifndef UMANY_POWER_CACTI_LITE_HH
+#define UMANY_POWER_CACTI_LITE_HH
+
+#include <cstdint>
+
+namespace umany
+{
+
+/** SRAM macro description. */
+struct SramParams
+{
+    std::uint64_t bytes = 64 * 1024;
+    std::uint32_t assoc = 8;
+    std::uint32_t ports = 1;
+    int nodeNm = 32; //!< Modelled node; results scale with tech.
+};
+
+/** CACTI-lite estimate. */
+struct SramEstimate
+{
+    double areaMm2 = 0.0;
+    double leakageW = 0.0;
+    double accessEnergyNj = 0.0;
+    double accessNs = 0.0;
+};
+
+/**
+ * Estimate an SRAM macro. The model is a calibrated analytic fit:
+ * area linear in capacity with associativity/port overheads, access
+ * latency and energy growing with sqrt(capacity) (wordline/bitline
+ * lengths), leakage linear in capacity.
+ */
+SramEstimate cactiLite(const SramParams &p);
+
+} // namespace umany
+
+#endif // UMANY_POWER_CACTI_LITE_HH

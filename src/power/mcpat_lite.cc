@@ -1,0 +1,96 @@
+#include "power/mcpat_lite.hh"
+
+#include <cmath>
+
+#include "power/cacti_lite.hh"
+#include "power/tech.hh"
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+namespace
+{
+
+// Calibration constants (32 nm reference). Fit so the 10 nm results
+// match §5: ≈0.41 W / ≈0.42 mm² per manycore core+slice and
+// ≈10.2 W / ≈4.4 mm² per ServerClass core+slice.
+constexpr double kPower = 0.0065; //!< W per (width/rob/freq) unit.
+constexpr double kArea = 0.212;   //!< mm^2 per (width/rob) unit.
+constexpr double powerExpWidth = 2.6;
+constexpr double powerExpRob = 0.7;
+constexpr double powerExpFreq = 2.5;
+constexpr double areaExpWidth = 1.8;
+constexpr double areaExpRob = 0.75;
+constexpr double cacheDynW = 0.15; //!< W per sqrt(MB) per GHz @32nm.
+
+CoreEstimate
+cacheSlice(double mb, std::uint32_t assoc, double ghz, int node_nm)
+{
+    SramParams sp;
+    sp.bytes = static_cast<std::uint64_t>(mb * 1024.0 * 1024.0);
+    sp.assoc = assoc;
+    sp.nodeNm = node_nm;
+    const SramEstimate se = cactiLite(sp);
+    const TechScaling ts = scaleTech(32, node_nm);
+
+    CoreEstimate e;
+    e.areaMm2 = se.areaMm2;
+    e.powerW =
+        se.leakageW + cacheDynW * std::sqrt(mb) * ghz *
+                          ts.powerFactor;
+    return e;
+}
+
+} // namespace
+
+CoreEstimate
+mcpatLite(const CoreParams &p, int node_nm)
+{
+    if (p.issueWidth == 0 || p.robEntries == 0 || p.ghz <= 0.0)
+        fatal("mcpatLite: degenerate core parameters");
+    const TechScaling ts = scaleTech(32, node_nm);
+    const double rob = static_cast<double>(p.robEntries) / 64.0;
+
+    CoreEstimate e;
+    e.powerW = kPower *
+               std::pow(static_cast<double>(p.issueWidth),
+                        powerExpWidth) *
+               std::pow(rob, powerExpRob) *
+               std::pow(p.ghz, powerExpFreq) * ts.powerFactor;
+    e.areaMm2 = kArea *
+                std::pow(static_cast<double>(p.issueWidth),
+                         areaExpWidth) *
+                std::pow(rob, areaExpRob) * ts.areaFactor;
+    return e;
+}
+
+CoreEstimate
+coreWithCachesManycore(int node_nm)
+{
+    const CoreParams p = manycoreCoreParams();
+    CoreEstimate e = mcpatLite(p, node_nm);
+    // 64 KB L1I + 64 KB L1D + 256 KB L2 shared by 8 cores.
+    const CoreEstimate l1 = cacheSlice(0.125, 8, p.ghz, node_nm);
+    const CoreEstimate l2 =
+        cacheSlice(0.25 / 8.0, 16, p.ghz, node_nm);
+    e.areaMm2 += l1.areaMm2 + l2.areaMm2;
+    e.powerW += l1.powerW + l2.powerW;
+    return e;
+}
+
+CoreEstimate
+coreWithCachesServerClass(int node_nm)
+{
+    const CoreParams p = serverClassCoreParams();
+    CoreEstimate e = mcpatLite(p, node_nm);
+    // 128 KB L1 + 2 MB private L2 + 2 MB L3 slice (Table 2).
+    const CoreEstimate l1 = cacheSlice(0.125, 8, p.ghz, node_nm);
+    const CoreEstimate l2 = cacheSlice(2.0, 16, p.ghz, node_nm);
+    const CoreEstimate l3 = cacheSlice(2.0, 16, p.ghz, node_nm);
+    e.areaMm2 += l1.areaMm2 + l2.areaMm2 + l3.areaMm2;
+    e.powerW += l1.powerW + l2.powerW + l3.powerW;
+    return e;
+}
+
+} // namespace umany

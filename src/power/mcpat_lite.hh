@@ -1,0 +1,44 @@
+/**
+ * @file
+ * McPAT-lite: analytic core area / power estimates calibrated so
+ * the evaluated cores land on the paper's §5 figures at 10 nm:
+ * ≈0.41 W per μManycore core (with its cache slice) and ≈10.2 W per
+ * ServerClass core (with its private L2 and L3 slice).
+ */
+
+#ifndef UMANY_POWER_MCPAT_LITE_HH
+#define UMANY_POWER_MCPAT_LITE_HH
+
+#include "cpu/core_params.hh"
+
+namespace umany
+{
+
+/** Core estimate (cache slices excluded; see coreWithCaches*). */
+struct CoreEstimate
+{
+    double areaMm2 = 0.0;
+    double powerW = 0.0; //!< Dynamic + static at full activity.
+};
+
+/**
+ * Estimate one core (no caches) at the given node.
+ *
+ * Power grows superlinearly in issue width, window size, and
+ * frequency (deeper speculation, larger structures, higher voltage
+ * headroom), which is what makes the 6-wide 3 GHz ServerClass core
+ * ~25x hungrier than the 4-wide 2 GHz manycore core.
+ */
+CoreEstimate mcpatLite(const CoreParams &p, int node_nm);
+
+/**
+ * Core plus its per-core cache slice: the manycore cores carry
+ * 128 KB L1 + a 32 KB share of the village L2; the ServerClass core
+ * carries 128 KB L1 + 2 MB L2 + a 2 MB L3 slice (Table 2).
+ */
+CoreEstimate coreWithCachesManycore(int node_nm);
+CoreEstimate coreWithCachesServerClass(int node_nm);
+
+} // namespace umany
+
+#endif // UMANY_POWER_MCPAT_LITE_HH

@@ -1,0 +1,74 @@
+#include "power/tech.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+namespace
+{
+
+struct NodePoint
+{
+    int nm;
+    double area;  //!< Relative to 32 nm.
+    double power; //!< Relative to 32 nm at iso-frequency.
+    double delay; //!< Relative to 32 nm.
+};
+
+// Derived from Stillmaker & Baas (Integration '17) style tables.
+constexpr NodePoint table[] = {
+    {32, 1.000, 1.000, 1.000},
+    {22, 0.520, 0.660, 0.850},
+    {16, 0.300, 0.470, 0.720},
+    {14, 0.240, 0.400, 0.690},
+    {10, 0.140, 0.290, 0.610},
+    {7, 0.085, 0.220, 0.550},
+};
+constexpr int tableSize = sizeof(table) / sizeof(table[0]);
+
+double
+interp(int nm, double NodePoint::*field)
+{
+    if (nm >= table[0].nm)
+        return table[0].*field;
+    if (nm <= table[tableSize - 1].nm)
+        return table[tableSize - 1].*field;
+    for (int i = 0; i + 1 < tableSize; ++i) {
+        if (nm <= table[i].nm && nm >= table[i + 1].nm) {
+            const double x0 = std::log(table[i].nm);
+            const double x1 = std::log(table[i + 1].nm);
+            const double y0 = std::log(table[i].*field);
+            const double y1 = std::log(table[i + 1].*field);
+            const double x = std::log(nm);
+            const double y =
+                y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+            return std::exp(y);
+        }
+    }
+    return 1.0;
+}
+
+} // namespace
+
+TechScaling
+scaleTech(int from_nm, int to_nm)
+{
+    if (from_nm <= 0 || to_nm <= 0)
+        fatal("bad technology nodes %d -> %d", from_nm, to_nm);
+    TechScaling s;
+    s.areaFactor =
+        interp(to_nm, &NodePoint::area) /
+        interp(from_nm, &NodePoint::area);
+    s.powerFactor =
+        interp(to_nm, &NodePoint::power) /
+        interp(from_nm, &NodePoint::power);
+    s.delayFactor =
+        interp(to_nm, &NodePoint::delay) /
+        interp(from_nm, &NodePoint::delay);
+    return s;
+}
+
+} // namespace umany

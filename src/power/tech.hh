@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Technology scaling (§5): the paper models structures with CACTI /
+ * McPAT at 32 nm and scales to 10 nm using Stillmaker & Baas style
+ * scaling equations. This module provides those factors.
+ */
+
+#ifndef UMANY_POWER_TECH_HH
+#define UMANY_POWER_TECH_HH
+
+namespace umany
+{
+
+/** Relative scaling factors between two process nodes. */
+struct TechScaling
+{
+    double areaFactor = 1.0;  //!< Area multiplier.
+    double powerFactor = 1.0; //!< Power multiplier at iso-frequency.
+    double delayFactor = 1.0; //!< Gate-delay multiplier.
+};
+
+/**
+ * Scaling factors from @p from_nm to @p to_nm. Supported nodes:
+ * 32, 22, 16, 14, 10, 7 (log-interpolated between table points).
+ */
+TechScaling scaleTech(int from_nm, int to_nm);
+
+} // namespace umany
+
+#endif // UMANY_POWER_TECH_HH

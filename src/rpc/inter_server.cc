@@ -1,0 +1,39 @@
+#include "rpc/inter_server.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+InterServerNet::InterServerNet(const InterServerParams &p) : p_(p)
+{
+    if (p_.numServers == 0)
+        fatal("inter-server net needs at least one server");
+    egressFree_.assign(p_.numServers, 0);
+    ingressFree_.assign(p_.numServers, 0);
+}
+
+Tick
+InterServerNet::send(ServerId src, ServerId dst, std::uint32_t nbytes,
+                     Tick now)
+{
+    if (src >= p_.numServers || dst >= p_.numServers)
+        panic("inter-server send %u -> %u out of range", src, dst);
+    ++messages_;
+    bytes_ += nbytes;
+
+    const Tick ser = fromNs(static_cast<double>(nbytes) / p_.linkGBs);
+    // Egress occupancy at the source.
+    const Tick tx_start = std::max(now, egressFree_[src]);
+    egressFree_[src] = tx_start + ser;
+    // Propagation.
+    const Tick arrive = tx_start + ser + p_.oneWayLatency;
+    // Ingress occupancy at the destination.
+    const Tick rx_done = std::max(arrive, ingressFree_[dst]) + ser;
+    ingressFree_[dst] = rx_done;
+    return rx_done;
+}
+
+} // namespace umany

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Inter-server network (Table 2: 1 μs round trip, 200 GB/s): a
+ * full-bisection fabric between the cluster's servers with
+ * per-server ingress/egress bandwidth occupancy.
+ */
+
+#ifndef UMANY_RPC_INTER_SERVER_HH
+#define UMANY_RPC_INTER_SERVER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace umany
+{
+
+/** Inter-server fabric parameters. */
+struct InterServerParams
+{
+    std::uint32_t numServers = 10;
+    Tick oneWayLatency = 500 * tickPerNs; //!< 1 μs round trip.
+    double linkGBs = 200.0;               //!< Per-server NIC bandwidth.
+};
+
+/** Bandwidth-occupied point-to-point fabric. */
+class InterServerNet
+{
+  public:
+    explicit InterServerNet(const InterServerParams &p);
+
+    const InterServerParams &params() const { return p_; }
+
+    /**
+     * Deliver @p bytes from @p src to @p dst starting at @p now.
+     * @return Delivery tick at the destination server's NIC.
+     */
+    Tick send(ServerId src, ServerId dst, std::uint32_t bytes,
+              Tick now);
+
+    std::uint64_t messages() const { return messages_; }
+    std::uint64_t bytes() const { return bytes_; }
+
+  private:
+    InterServerParams p_;
+    std::vector<Tick> egressFree_;
+    std::vector<Tick> ingressFree_;
+    std::uint64_t messages_ = 0;
+    std::uint64_t bytes_ = 0;
+};
+
+} // namespace umany
+
+#endif // UMANY_RPC_INTER_SERVER_HH

@@ -1,0 +1,27 @@
+#include "rpc/network_hub.hh"
+
+namespace umany
+{
+
+void
+NetworkHub::countIntraCluster(std::uint32_t bytes)
+{
+    ++intraMsgs_;
+    bytes_ += bytes;
+}
+
+void
+NetworkHub::countIcn(std::uint32_t bytes)
+{
+    ++icnMsgs_;
+    bytes_ += bytes;
+}
+
+void
+NetworkHub::countExternal(std::uint32_t bytes)
+{
+    ++extMsgs_;
+    bytes_ += bytes;
+}
+
+} // namespace umany

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Network hub accounting (§4.1): hubs are the switching elements of
+ * the on-package ICN (the topology models their forwarding); this
+ * class carries the per-cluster traffic counters machines expose.
+ */
+
+#ifndef UMANY_RPC_NETWORK_HUB_HH
+#define UMANY_RPC_NETWORK_HUB_HH
+
+#include <cstdint>
+#include <string>
+
+namespace umany
+{
+
+/** Per-cluster hub counters. */
+class NetworkHub
+{
+  public:
+    explicit NetworkHub(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    void countIntraCluster(std::uint32_t bytes);
+    void countIcn(std::uint32_t bytes);
+    void countExternal(std::uint32_t bytes);
+
+    std::uint64_t intraClusterMsgs() const { return intraMsgs_; }
+    std::uint64_t icnMsgs() const { return icnMsgs_; }
+    std::uint64_t externalMsgs() const { return extMsgs_; }
+    std::uint64_t totalBytes() const { return bytes_; }
+
+  private:
+    std::string name_;
+    std::uint64_t intraMsgs_ = 0;
+    std::uint64_t icnMsgs_ = 0;
+    std::uint64_t extMsgs_ = 0;
+    std::uint64_t bytes_ = 0;
+};
+
+} // namespace umany
+
+#endif // UMANY_RPC_NETWORK_HUB_HH

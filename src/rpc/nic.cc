@@ -1,0 +1,30 @@
+#include "rpc/nic.hh"
+
+namespace umany
+{
+
+Tick
+VillageNic::rxLatency() const
+{
+    return p_.hwPipelineLatency;
+}
+
+Cycles
+VillageNic::rxCoreCycles() const
+{
+    return p_.hardwareRpc ? 0 : p_.swRxCycles;
+}
+
+Cycles
+VillageNic::txCoreCycles() const
+{
+    return p_.hardwareRpc ? p_.hwTxCycles : p_.swTxCycles;
+}
+
+Tick
+VillageNic::txCoreTime() const
+{
+    return cyclesToTicks(static_cast<double>(txCoreCycles()), p_.ghz);
+}
+
+} // namespace umany

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Village NIC models (§4.1): each village has a local (L-NIC) port
+ * for lossless on-package traffic and a remote (R-NIC) port for
+ * lossy off-package traffic.
+ *
+ * On μManycore the NIC performs the RPC layer (header parsing,
+ * de-serialization, service dispatch) in hardware — a fixed
+ * pipeline latency and zero core cycles. The baselines run the RPC
+ * layer in software on a core, so every message charges core time
+ * to whoever handles it (§4.3, Cerebros-style "RPC tax").
+ */
+
+#ifndef UMANY_RPC_NIC_HH
+#define UMANY_RPC_NIC_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace umany
+{
+
+/** NIC processing-cost parameters. */
+struct NicParams
+{
+    bool hardwareRpc = true;
+    Tick hwPipelineLatency = 50 * tickPerNs; //!< 50 ns parse/dispatch.
+    /** Software RPC layer cost per received message (core cycles). */
+    Cycles swRxCycles = 45000;
+    /** Software RPC layer cost per sent message (core cycles). */
+    Cycles swTxCycles = 15000;
+    /** Hardware send-path core cost (issuing the descriptor). */
+    Cycles hwTxCycles = 20;
+    double ghz = 2.0;
+};
+
+/** A village's NIC pair (L-port and R-port share the cost model). */
+class VillageNic
+{
+  public:
+    explicit VillageNic(const NicParams &p) : p_(p) {}
+
+    const NicParams &params() const { return p_; }
+
+    /** Fixed NIC latency on the receive path (hardware pipeline). */
+    Tick rxLatency() const;
+
+    /** Core cycles charged to the handler for one received message. */
+    Cycles rxCoreCycles() const;
+
+    /** Core cycles charged to the sender for one sent message. */
+    Cycles txCoreCycles() const;
+
+    /** Ticks version of txCoreCycles at the configured frequency. */
+    Tick txCoreTime() const;
+
+    /** Account one received / sent message. */
+    void countRx() { ++rx_; }
+    void countTx() { ++tx_; }
+
+    std::uint64_t rxMessages() const { return rx_; }
+    std::uint64_t txMessages() const { return tx_; }
+
+  private:
+    NicParams p_;
+    std::uint64_t rx_ = 0;
+    std::uint64_t tx_ = 0;
+};
+
+} // namespace umany
+
+#endif // UMANY_RPC_NIC_HH

@@ -1,0 +1,39 @@
+#include "rpc/top_nic.hh"
+
+#include <algorithm>
+
+namespace umany
+{
+
+Tick
+TopLevelNic::occupy(Tick now, std::uint32_t bytes, Tick &link_free)
+{
+    const Tick start = std::max(now, link_free);
+    const double ns = static_cast<double>(bytes) / p_.extGBs;
+    const Tick done = start + fromNs(ns);
+    link_free = done;
+    return done;
+}
+
+Tick
+TopLevelNic::ingress(Tick now, std::uint32_t bytes)
+{
+    ++in_;
+    inBytes_ += bytes;
+    Tick done = occupy(now, bytes, inFree_);
+    if (p_.hardwareDispatch) {
+        done += cyclesToTicks(
+            static_cast<double>(p_.hwDispatchCycles), p_.ghz);
+    }
+    return done;
+}
+
+Tick
+TopLevelNic::egress(Tick now, std::uint32_t bytes)
+{
+    ++out_;
+    outBytes_ += bytes;
+    return occupy(now, bytes, outFree_);
+}
+
+} // namespace umany

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Package top-level NIC (§4.2): the interface between the package
+ * and the external network. On μManycore it consults the ServiceMap
+ * and dispatches to villages entirely in hardware; on the baselines
+ * dispatch runs through the software dispatcher. Models external
+ * link bandwidth occupancy in both directions.
+ */
+
+#ifndef UMANY_RPC_TOP_NIC_HH
+#define UMANY_RPC_TOP_NIC_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace umany
+{
+
+/** Top-level NIC parameters (Table 2: 200 GB/s, 1 μs RT external). */
+struct TopNicParams
+{
+    double extGBs = 200.0;              //!< External link bandwidth.
+    Tick extLatency = 500 * tickPerNs;  //!< One-way external latency.
+    Cycles hwDispatchCycles = 24;       //!< HW ServiceMap walk.
+    bool hardwareDispatch = true;
+    double ghz = 2.0;
+};
+
+/** The package's external interface. */
+class TopLevelNic
+{
+  public:
+    explicit TopLevelNic(const TopNicParams &p) : p_(p) {}
+
+    const TopNicParams &params() const { return p_; }
+
+    /**
+     * An external message of @p bytes reaches the NIC at @p now;
+     * returns the tick when ingress processing is done (bandwidth
+     * occupancy + hardware dispatch cost when enabled). Wire
+     * latency is the sender's responsibility.
+     */
+    Tick ingress(Tick now, std::uint32_t bytes);
+
+    /**
+     * Outbound counterpart: returns the tick the message has left
+     * the NIC (occupancy only; callers add extLatency for the wire).
+     */
+    Tick egress(Tick now, std::uint32_t bytes);
+
+    /** One-way external wire latency (for callers). */
+    Tick extLatency() const { return p_.extLatency; }
+
+    std::uint64_t ingressMsgs() const { return in_; }
+    std::uint64_t egressMsgs() const { return out_; }
+    std::uint64_t ingressBytes() const { return inBytes_; }
+    std::uint64_t egressBytes() const { return outBytes_; }
+
+  private:
+    TopNicParams p_;
+    Tick inFree_ = 0;
+    Tick outFree_ = 0;
+    std::uint64_t in_ = 0;
+    std::uint64_t out_ = 0;
+    std::uint64_t inBytes_ = 0;
+    std::uint64_t outBytes_ = 0;
+
+    Tick occupy(Tick now, std::uint32_t bytes, Tick &link_free);
+};
+
+} // namespace umany
+
+#endif // UMANY_RPC_TOP_NIC_HH

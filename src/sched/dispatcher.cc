@@ -1,0 +1,34 @@
+#include "sched/dispatcher.hh"
+
+#include <algorithm>
+
+namespace umany
+{
+
+Tick
+SwDispatcher::process(Tick now)
+{
+    return process(now, p_.opCycles);
+}
+
+Tick
+SwDispatcher::process(Tick now, Cycles cycles)
+{
+    const Tick start = std::max(now, free_);
+    const Tick cost =
+        cyclesToTicks(static_cast<double>(cycles), p_.ghz);
+    free_ = start + cost;
+    busyTime_ += cost;
+    ++ops_;
+    return free_;
+}
+
+double
+SwDispatcher::utilization(Tick now) const
+{
+    if (now == 0)
+        return 0.0;
+    return static_cast<double>(busyTime_) / static_cast<double>(now);
+}
+
+} // namespace umany

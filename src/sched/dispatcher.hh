@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Software dispatcher: the serialized scheduling path of the
+ * baseline machines (Shinjuku-style dedicated dispatcher core,
+ * §4.4). Every NIC-to-queue routing decision runs through it, so
+ * it saturates under load — one of the bottlenecks μManycore's
+ * in-hardware ServiceMap dispatch removes.
+ */
+
+#ifndef UMANY_SCHED_DISPATCHER_HH
+#define UMANY_SCHED_DISPATCHER_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace umany
+{
+
+/** Dispatcher cost parameters. */
+struct DispatcherParams
+{
+    Cycles opCycles = 5000; //!< Per routed message.
+    double ghz = 2.0;
+};
+
+/** A serial software dispatch resource. */
+class SwDispatcher
+{
+  public:
+    explicit SwDispatcher(const DispatcherParams &p) : p_(p) {}
+
+    /**
+     * Process one dispatch starting at @p now.
+     * @return Completion tick (serialized after earlier work).
+     */
+    Tick process(Tick now);
+
+    /**
+     * Process one op of explicit cost (e.g. a context-switch save or
+     * restore running on the dispatcher core, §4.4).
+     */
+    Tick process(Tick now, Cycles cycles);
+
+    std::uint64_t ops() const { return ops_; }
+    Tick busyTime() const { return busyTime_; }
+
+    /** Utilization over [0, now]. */
+    double utilization(Tick now) const;
+
+  private:
+    DispatcherParams p_;
+    Tick free_ = 0;
+    std::uint64_t ops_ = 0;
+    Tick busyTime_ = 0;
+};
+
+} // namespace umany
+
+#endif // UMANY_SCHED_DISPATCHER_HH

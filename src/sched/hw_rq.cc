@@ -1,0 +1,125 @@
+#include "sched/hw_rq.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+HwRq::HwRq(const HwRqParams &p) : p_(p)
+{
+    if (p_.entries == 0)
+        fatal("hardware RQ needs at least one entry");
+}
+
+void
+HwRq::registerService(ServiceId service)
+{
+    services_.push_back(service);
+    perService_.emplace(service, 0);
+}
+
+std::uint32_t
+HwRq::partitionQuota() const
+{
+    // Equal apportioning of the RQ_Map partitions (§4.3).
+    return p_.entries /
+           std::max<std::uint32_t>(
+               1, static_cast<std::uint32_t>(services_.size()));
+}
+
+RqAdmit
+HwRq::admit(std::uint64_t seq, ServiceRequest *req)
+{
+    const bool within_partition =
+        !p_.partitioned || services_.size() <= 1 ||
+        perService_[req->service()] < partitionQuota();
+    if (inFlight_ < p_.entries && within_partition) {
+        ++inFlight_;
+        ++admitted_;
+        if (p_.partitioned)
+            perService_[req->service()] += 1;
+        ready_.insert(seq, req);
+        return RqAdmit::Admitted;
+    }
+    if (nicBuffer_.size() < p_.nicBufferEntries) {
+        nicBuffer_.emplace_back(seq, req);
+        return RqAdmit::Buffered;
+    }
+    ++rejected_;
+    return RqAdmit::Rejected;
+}
+
+void
+HwRq::makeReady(std::uint64_t seq, ServiceRequest *req)
+{
+    // The entry already counts against inFlight_ (it was admitted
+    // and is currently blocked); only the ready order changes.
+    ready_.insert(seq, req);
+}
+
+ServiceRequest *
+HwRq::dequeue(Tick now, Tick &done)
+{
+    done = now + cyclesToTicks(
+                     static_cast<double>(p_.dequeueCycles), p_.ghz);
+    return ready_.popFront();
+}
+
+ServiceRequest *
+HwRq::complete(ServiceId finished_service)
+{
+    if (inFlight_ == 0)
+        panic("RQ complete with no in-flight entries");
+    --inFlight_;
+    if (p_.partitioned) {
+        auto it = perService_.find(finished_service);
+        if (it != perService_.end() && it->second > 0)
+            it->second -= 1;
+    }
+    if (nicBuffer_.empty())
+        return nullptr;
+    // Promote the oldest buffered request whose partition has room.
+    for (auto it = nicBuffer_.begin(); it != nicBuffer_.end(); ++it) {
+        auto [seq, req] = *it;
+        if (p_.partitioned && services_.size() > 1 &&
+            perService_[req->service()] >= partitionQuota()) {
+            continue;
+        }
+        nicBuffer_.erase(it);
+        ++inFlight_;
+        ++admitted_;
+        if (p_.partitioned)
+            perService_[req->service()] += 1;
+        ready_.insert(seq, req);
+        return req;
+    }
+    return nullptr;
+}
+
+void
+HwRq::coreIdle(CoreId core)
+{
+    idleCores_.push_back(core);
+}
+
+void
+HwRq::coreBusy(CoreId core)
+{
+    auto it = std::find(idleCores_.begin(), idleCores_.end(), core);
+    if (it != idleCores_.end())
+        idleCores_.erase(it);
+}
+
+CoreId
+HwRq::claimIdleCore()
+{
+    if (idleCores_.empty())
+        return invalidId;
+    const CoreId core = idleCores_.back();
+    idleCores_.pop_back();
+    return core;
+}
+
+} // namespace umany

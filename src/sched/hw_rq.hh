@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Hardware Request Queue (§4.3, Fig 13): a per-village circular
+ * buffer of request entries with Status / Service ID / Req Ptr
+ * fields backed by a Request Context Memory. Enqueue and dequeue
+ * run in hardware; cores spin on a Work flag and use Dequeue /
+ * Complete / ContextSwitch instructions.
+ *
+ * The model tracks entry occupancy (running + blocked + ready all
+ * hold entries), the FCFS-by-arrival ready order the Dequeue
+ * instruction implements via the head pointer, NIC overflow
+ * buffering, and rejection when both fill up.
+ */
+
+#ifndef UMANY_SCHED_HW_RQ_HH
+#define UMANY_SCHED_HW_RQ_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/queue_system.hh" // ReadyList
+#include "sim/types.hh"
+
+namespace umany
+{
+
+/** Hardware RQ parameters (Table: 64-entry RQ per village). */
+struct HwRqParams
+{
+    std::uint32_t entries = 64;
+    std::uint32_t nicBufferEntries = 256;
+    Cycles enqueueCycles = 4;   //!< NIC-side, no core involvement.
+    Cycles dequeueCycles = 16;  //!< Dequeue instruction.
+    Cycles completeCycles = 8;  //!< Complete instruction.
+    double ghz = 2.0;
+    /** Request Context Memory entry size (saved state, §4.4). */
+    std::uint32_t contextBytes = 768;
+    /**
+     * §4.3's "more advanced design": dynamically partition the RQ
+     * across co-located services via an RQ_Map, so one service
+     * cannot hog all entries. Partitioned admission reserves
+     * entries/N per hosted service (the paper proposes proportional
+     * apportioning; equal shares model its default). Excluded from
+     * the headline evaluation, as in the paper.
+     */
+    bool partitioned = false;
+};
+
+/** Outcome of trying to admit a request into the village. */
+enum class RqAdmit : std::uint8_t
+{
+    Admitted, //!< Entry allocated; request is queued.
+    Buffered, //!< RQ full; waiting in the NIC buffer.
+    Rejected, //!< NIC buffer also full; dropped.
+};
+
+/** One village's hardware request queue. */
+class HwRq
+{
+  public:
+    explicit HwRq(const HwRqParams &p);
+
+    const HwRqParams &params() const { return p_; }
+
+    /**
+     * Register a service hosted by this village (sizes the RQ_Map
+     * partitions when partitioned mode is on).
+     */
+    void registerService(ServiceId service);
+
+    /**
+     * Request arrives from the village NIC.
+     * Admitted/Buffered requests are owned by the queue until
+     * dequeued; the caller handles Rejected.
+     */
+    RqAdmit admit(std::uint64_t seq, ServiceRequest *req);
+
+    /**
+     * A blocked request became ready (its responses arrived); the
+     * NIC sets the Status field — no core cost.
+     */
+    void makeReady(std::uint64_t seq, ServiceRequest *req);
+
+    /**
+     * Dequeue instruction: pop the ready entry closest to the head.
+     * @param now Current tick.
+     * @param done Out: tick when the instruction completes.
+     */
+    ServiceRequest *dequeue(Tick now, Tick &done);
+
+    /**
+     * Complete instruction: free the entry of a request of
+     * @p finished_service; if the NIC buffer holds an admissible
+     * waiting request, it is promoted into the freed entry.
+     *
+     * @return The promoted request (now Queued) or nullptr.
+     */
+    ServiceRequest *complete(ServiceId finished_service);
+
+    /** Entries in use (running + blocked + ready). */
+    std::uint32_t inFlight() const { return inFlight_; }
+    bool full() const { return inFlight_ >= p_.entries; }
+    std::size_t readyCount() const { return ready_.size(); }
+    std::size_t bufferedCount() const { return nicBuffer_.size(); }
+
+    /** @name Per-village idle-core registry (Work-flag model). @{ */
+    void coreIdle(CoreId core);
+    void coreBusy(CoreId core);
+    CoreId claimIdleCore();
+    /** @} */
+
+    std::uint64_t admitted() const { return admitted_; }
+    std::uint64_t rejectedCount() const { return rejected_; }
+
+  private:
+    HwRqParams p_;
+    ReadyList ready_;
+    std::uint32_t inFlight_ = 0;
+    std::deque<std::pair<std::uint64_t, ServiceRequest *>> nicBuffer_;
+    std::vector<CoreId> idleCores_;
+    std::uint64_t admitted_ = 0;
+    std::uint64_t rejected_ = 0;
+
+    /** RQ_Map: per-service entry occupancy (partitioned mode). */
+    std::vector<ServiceId> services_;
+    std::unordered_map<ServiceId, std::uint32_t> perService_;
+
+    std::uint32_t partitionQuota() const;
+};
+
+} // namespace umany
+
+#endif // UMANY_SCHED_HW_RQ_HH

@@ -1,0 +1,169 @@
+#include "sched/queue_system.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+void
+ReadyList::insert(std::uint64_t seq, ServiceRequest *req)
+{
+    entries_.emplace(seq, req);
+}
+
+ServiceRequest *
+ReadyList::popFront()
+{
+    if (entries_.empty())
+        return nullptr;
+    auto it = entries_.begin();
+    ServiceRequest *req = it->second;
+    entries_.erase(it);
+    return req;
+}
+
+ServiceRequest *
+ReadyList::popBack()
+{
+    if (entries_.empty())
+        return nullptr;
+    auto it = std::prev(entries_.end());
+    ServiceRequest *req = it->second;
+    entries_.erase(it);
+    return req;
+}
+
+SwQueueSystem::SwQueueSystem(const SwQueueParams &p, std::uint64_t seed)
+    : p_(p), rng_(seed)
+{
+    if (p_.numQueues == 0 || p_.numCores == 0)
+        fatal("queue system needs queues and cores");
+    if (p_.numQueues > p_.numCores)
+        fatal("more queues (%u) than cores (%u)", p_.numQueues,
+              p_.numCores);
+    queues_.resize(p_.numQueues);
+    coreIsIdle_.assign(p_.numCores, 0);
+}
+
+std::uint32_t
+SwQueueSystem::queueOfCore(CoreId core) const
+{
+    // Contiguous blocks of cores per queue.
+    const std::uint32_t per = p_.numCores / p_.numQueues;
+    return std::min(core / per, p_.numQueues - 1);
+}
+
+std::uint32_t
+SwQueueSystem::randomQueue()
+{
+    return static_cast<std::uint32_t>(rng_.below(p_.numQueues));
+}
+
+Tick
+SwQueueSystem::opCost(std::uint32_t) const
+{
+    const double sharers =
+        static_cast<double>(p_.numCores) / p_.numQueues;
+    const double cycles = static_cast<double>(p_.opBaseCycles) *
+                          (1.0 + p_.contentionPerSharer * sharers);
+    return cyclesToTicks(cycles, p_.ghz);
+}
+
+Tick
+SwQueueSystem::lockOp(std::uint32_t q, Tick now, Cycles extra_cycles)
+{
+    Queue &queue = queues_[q];
+    const Tick start = std::max(now, queue.lockFree);
+    lockWait_ += start - now;
+    const Tick done =
+        start + opCost(q) +
+        cyclesToTicks(static_cast<double>(extra_cycles), p_.ghz);
+    queue.lockFree = done;
+    ++ops_;
+    return done;
+}
+
+Tick
+SwQueueSystem::enqueue(std::uint32_t q, std::uint64_t seq,
+                       ServiceRequest *req, Tick now)
+{
+    if (q >= p_.numQueues)
+        panic("enqueue to bad queue %u", q);
+    queues_[q].ready.insert(seq, req);
+    return lockOp(q, now, 0);
+}
+
+ServiceRequest *
+SwQueueSystem::dequeue(CoreId core, Tick now, Tick &done)
+{
+    const std::uint32_t home = queueOfCore(core);
+    done = lockOp(home, now, 0);
+    ServiceRequest *req = queues_[home].ready.popFront();
+    if (req != nullptr || !p_.workStealing)
+        return req;
+
+    // Steal: probe random victims, paying for each probe.
+    for (std::uint32_t i = 0; i < p_.stealAttempts; ++i) {
+        const std::uint32_t victim =
+            static_cast<std::uint32_t>(rng_.below(p_.numQueues));
+        if (victim == home)
+            continue;
+        done = lockOp(victim, done, p_.stealCycles);
+        req = queues_[victim].ready.popBack();
+        if (req != nullptr) {
+            ++steals_;
+            return req;
+        }
+    }
+    return nullptr;
+}
+
+std::size_t
+SwQueueSystem::queueLength(std::uint32_t q) const
+{
+    return queues_[q].ready.size();
+}
+
+std::size_t
+SwQueueSystem::totalReady() const
+{
+    std::size_t total = 0;
+    for (const auto &q : queues_)
+        total += q.ready.size();
+    return total;
+}
+
+void
+SwQueueSystem::coreIdle(CoreId core)
+{
+    if (coreIsIdle_[core])
+        return;
+    coreIsIdle_[core] = 1;
+    queues_[queueOfCore(core)].idleCores.push_back(core);
+}
+
+void
+SwQueueSystem::coreBusy(CoreId core)
+{
+    coreIsIdle_[core] = 0;
+    // Lazy removal: claimIdleCore() skips stale entries.
+}
+
+CoreId
+SwQueueSystem::claimIdleCore(std::uint32_t q)
+{
+    auto &idle = queues_[q].idleCores;
+    while (!idle.empty()) {
+        const CoreId core = idle.back();
+        idle.pop_back();
+        if (coreIsIdle_[core]) {
+            coreIsIdle_[core] = 0;
+            return core;
+        }
+    }
+    return invalidId;
+}
+
+} // namespace umany

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Software request queuing (§3.2, Fig 3): N FCFS queues over M
+ * cores with lock-contention costs that grow with the number of
+ * cores sharing a queue, and optional work stealing.
+ *
+ * This is the scheduling substrate of the ScaleOut and ServerClass
+ * baselines and of the Fig 3 queue-count sweep.
+ */
+
+#ifndef UMANY_SCHED_QUEUE_SYSTEM_HH
+#define UMANY_SCHED_QUEUE_SYSTEM_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sched/request.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace umany
+{
+
+/**
+ * FCFS ready list ordered by arrival sequence number, so requests
+ * unblocked after an RPC resume ahead of later arrivals — the same
+ * ordering the hardware RQ provides via its head pointer.
+ */
+class ReadyList
+{
+  public:
+    void insert(std::uint64_t seq, ServiceRequest *req);
+
+    /** Pop the oldest entry (nullptr when empty). */
+    ServiceRequest *popFront();
+
+    /** Pop the youngest entry (steal semantics; nullptr when empty). */
+    ServiceRequest *popBack();
+
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    std::map<std::uint64_t, ServiceRequest *> entries_;
+};
+
+/** Parameters of the software queue system. */
+struct SwQueueParams
+{
+    std::uint32_t numQueues = 32;
+    std::uint32_t numCores = 1024;
+    /** Base cycles per queue operation (uncontended). */
+    Cycles opBaseCycles = 150;
+    /**
+     * Additional fractional cost per core sharing the queue: models
+     * the coherence ping-pong on the queue lock/line. Effective op
+     * cost = base * (1 + contentionPerSharer * coresPerQueue).
+     */
+    double contentionPerSharer = 0.008;
+    bool workStealing = false;
+    std::uint32_t stealAttempts = 2;
+    /** Extra cycles per steal probe. */
+    Cycles stealCycles = 300;
+    double ghz = 2.0;
+};
+
+/**
+ * The software queue system. All operations serialize on the target
+ * queue's lock; the caller uses the returned completion tick to
+ * schedule downstream events.
+ */
+class SwQueueSystem
+{
+  public:
+    SwQueueSystem(const SwQueueParams &p, std::uint64_t seed);
+
+    const SwQueueParams &params() const { return p_; }
+
+    /** Queue a core belongs to. */
+    std::uint32_t queueOfCore(CoreId core) const;
+
+    /** Uniformly random queue (Fig 3's random assignment). */
+    std::uint32_t randomQueue();
+
+    /**
+     * Perform an enqueue/unblock operation on queue @p q starting at
+     * @p now; the entry is inserted immediately; the returned tick is
+     * when the op (lock wait + work) completes.
+     */
+    Tick enqueue(std::uint32_t q, std::uint64_t seq,
+                 ServiceRequest *req, Tick now);
+
+    /**
+     * Dequeue for @p core at @p now, stealing if enabled and the
+     * home queue is empty.
+     *
+     * @param done Out: tick at which the op completes.
+     * @return The request, or nullptr when nothing was found.
+     */
+    ServiceRequest *dequeue(CoreId core, Tick now, Tick &done);
+
+    std::size_t queueLength(std::uint32_t q) const;
+    std::size_t totalReady() const;
+
+    /** @name Idle-core registry (per queue). @{ */
+    void coreIdle(CoreId core);
+    void coreBusy(CoreId core);
+    /** An idle core of queue @p q (claimed), or invalidId. */
+    CoreId claimIdleCore(std::uint32_t q);
+    /** @} */
+
+    std::uint64_t ops() const { return ops_; }
+    std::uint64_t steals() const { return steals_; }
+    Tick lockWaitTotal() const { return lockWait_; }
+
+  private:
+    SwQueueParams p_;
+    Rng rng_;
+
+    struct Queue
+    {
+        ReadyList ready;
+        Tick lockFree = 0;
+        std::vector<CoreId> idleCores;
+    };
+    std::vector<Queue> queues_;
+    std::vector<std::uint8_t> coreIsIdle_;
+
+    std::uint64_t ops_ = 0;
+    std::uint64_t steals_ = 0;
+    Tick lockWait_ = 0;
+
+    /** Serialize one op on queue @p q from @p now; returns done tick. */
+    Tick lockOp(std::uint32_t q, Tick now, Cycles extra_cycles);
+    Tick opCost(std::uint32_t q) const;
+};
+
+} // namespace umany
+
+#endif // UMANY_SCHED_QUEUE_SYSTEM_HH

@@ -1,0 +1,56 @@
+#include "sched/request.hh"
+
+#include <numeric>
+
+namespace umany
+{
+
+const char *
+reqStateName(ReqState s)
+{
+    switch (s) {
+      case ReqState::Created:
+        return "created";
+      case ReqState::Queued:
+        return "queued";
+      case ReqState::Running:
+        return "running";
+      case ReqState::Blocked:
+        return "blocked";
+      case ReqState::Ready:
+        return "ready";
+      case ReqState::Finished:
+        return "finished";
+      case ReqState::Rejected:
+        return "rejected";
+    }
+    return "unknown";
+}
+
+bool
+Behavior::wellFormed() const
+{
+    if (segments.empty())
+        return false;
+    if (groups.size() + 1 != segments.size())
+        return false;
+    for (const CallGroup &g : groups) {
+        if (g.empty())
+            return false;
+    }
+    return true;
+}
+
+Tick
+Behavior::totalWork() const
+{
+    return std::accumulate(segments.begin(), segments.end(), Tick{0});
+}
+
+ServiceRequest::ServiceRequest(RequestId id, ServiceId service,
+                               Behavior behavior)
+    : id_(id), service_(service), behavior_(std::move(behavior))
+{
+}
+
+} // namespace umany

@@ -1,0 +1,56 @@
+#include "sched/service_map.hh"
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+const std::vector<VillageId> ServiceMap::emptyList_;
+
+void
+ServiceMap::addInstance(ServiceId service, VillageId village)
+{
+    if (service >= entries_.size())
+        entries_.resize(service + 1);
+    entries_[service].villages.push_back(village);
+}
+
+bool
+ServiceMap::hasService(ServiceId service) const
+{
+    return service < entries_.size() &&
+           !entries_[service].villages.empty();
+}
+
+VillageId
+ServiceMap::pick(ServiceId service)
+{
+    if (!hasService(service))
+        panic("ServiceMap: no instance of service %u", service);
+    ++lookups_;
+    Entry &e = entries_[service];
+    const VillageId v = e.villages[e.next % e.villages.size()];
+    e.next = (e.next + 1) % e.villages.size();
+    return v;
+}
+
+const std::vector<VillageId> &
+ServiceMap::villagesOf(ServiceId service) const
+{
+    if (service >= entries_.size())
+        return emptyList_;
+    return entries_[service].villages;
+}
+
+std::size_t
+ServiceMap::serviceCount() const
+{
+    std::size_t n = 0;
+    for (const auto &e : entries_) {
+        if (!e.villages.empty())
+            ++n;
+    }
+    return n;
+}
+
+} // namespace umany

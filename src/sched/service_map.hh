@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ServiceMap (§4.2, Fig 12): the top-level NIC's table mapping each
+ * service ID to the set of villages hosting an instance, consulted
+ * in hardware on arrival and walked round-robin.
+ */
+
+#ifndef UMANY_SCHED_SERVICE_MAP_HH
+#define UMANY_SCHED_SERVICE_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace umany
+{
+
+/** Per-package service-to-villages table with round-robin pick. */
+class ServiceMap
+{
+  public:
+    /** Register an instance of @p service in @p village. */
+    void addInstance(ServiceId service, VillageId village);
+
+    /** True if at least one instance of @p service exists. */
+    bool hasService(ServiceId service) const;
+
+    /** Round-robin choice among the hosting villages. */
+    VillageId pick(ServiceId service);
+
+    /** All villages hosting @p service. */
+    const std::vector<VillageId> &villagesOf(ServiceId service) const;
+
+    /** Services with at least one instance. */
+    std::size_t serviceCount() const;
+
+    std::uint64_t lookups() const { return lookups_; }
+
+  private:
+    struct Entry
+    {
+        std::vector<VillageId> villages;
+        std::size_t next = 0;
+    };
+    std::vector<Entry> entries_; //!< Indexed by ServiceId.
+    std::uint64_t lookups_ = 0;
+
+    static const std::vector<VillageId> emptyList_;
+};
+
+} // namespace umany
+
+#endif // UMANY_SCHED_SERVICE_MAP_HH

@@ -1,0 +1,111 @@
+#include "sim/config.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+void
+Config::parseArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            fatal("bad argument '%s': expected key=value", arg.c_str());
+        }
+        set(arg.substr(0, eq), arg.substr(eq + 1));
+    }
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+const std::string &
+Config::rawOrFatal(const std::string &key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        fatal("missing required config key '%s'", key.c_str());
+    return it->second;
+}
+
+std::string
+Config::getString(const std::string &key) const
+{
+    return rawOrFatal(key);
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+std::int64_t
+Config::getInt(const std::string &key) const
+{
+    const std::string &raw = rawOrFatal(key);
+    char *end = nullptr;
+    const long long v = std::strtoll(raw.c_str(), &end, 0);
+    if (end == nullptr || *end != '\0')
+        fatal("config key '%s'='%s' is not an integer", key.c_str(),
+              raw.c_str());
+    return v;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t def) const
+{
+    return has(key) ? getInt(key) : def;
+}
+
+double
+Config::getDouble(const std::string &key) const
+{
+    const std::string &raw = rawOrFatal(key);
+    char *end = nullptr;
+    const double v = std::strtod(raw.c_str(), &end);
+    if (end == nullptr || *end != '\0')
+        fatal("config key '%s'='%s' is not a number", key.c_str(),
+              raw.c_str());
+    return v;
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    return has(key) ? getDouble(key) : def;
+}
+
+bool
+Config::getBool(const std::string &key) const
+{
+    const std::string &raw = rawOrFatal(key);
+    if (raw == "true" || raw == "1" || raw == "yes" || raw == "on")
+        return true;
+    if (raw == "false" || raw == "0" || raw == "no" || raw == "off")
+        return false;
+    fatal("config key '%s'='%s' is not a boolean", key.c_str(),
+          raw.c_str());
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    return has(key) ? getBool(key) : def;
+}
+
+} // namespace umany

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal key=value configuration store used by examples and bench
+ * binaries for command-line overrides (e.g. "rps=15000 seed=7").
+ */
+
+#ifndef UMANY_SIM_CONFIG_HH
+#define UMANY_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace umany
+{
+
+/**
+ * A flat map of string parameters with typed accessors.
+ *
+ * Unknown keys requested with a default are not an error; requesting
+ * a missing key without a default is fatal (configuration error).
+ */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse argv entries of the form key=value. Other args are fatal. */
+    void parseArgs(int argc, char **argv);
+
+    /** Set (or overwrite) a key. */
+    void set(const std::string &key, const std::string &value);
+
+    /** True if the key is present. */
+    bool has(const std::string &key) const;
+
+    std::string getString(const std::string &key) const;
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+
+    std::int64_t getInt(const std::string &key) const;
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+
+    double getDouble(const std::string &key) const;
+    double getDouble(const std::string &key, double def) const;
+
+    bool getBool(const std::string &key) const;
+    bool getBool(const std::string &key, bool def) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+
+    const std::string &rawOrFatal(const std::string &key) const;
+};
+
+} // namespace umany
+
+#endif // UMANY_SIM_CONFIG_HH

@@ -1,0 +1,63 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < _now) {
+        panic("event scheduled in the past: when=%llu now=%llu",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_now));
+    }
+    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast is the
+    // standard idiom for pop-with-move on a binary heap.
+    Entry e = std::move(const_cast<Entry &>(heap_.top()));
+    heap_.pop();
+    _now = e.when;
+    ++dispatched_;
+    e.cb();
+    return true;
+}
+
+void
+EventQueue::run()
+{
+    while (step()) {
+    }
+}
+
+bool
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty()) {
+        if (heap_.top().when > limit) {
+            _now = limit;
+            return false;
+        }
+        step();
+    }
+    return true;
+}
+
+void
+EventQueue::reset()
+{
+    heap_ = {};
+    _now = 0;
+    nextSeq_ = 0;
+    dispatched_ = 0;
+}
+
+} // namespace umany

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue owns simulated time. Components schedule
+ * callbacks at absolute or relative ticks; the queue dispatches them
+ * in (tick, insertion-order) order, which makes runs deterministic
+ * for a fixed seed and schedule.
+ */
+
+#ifndef UMANY_SIM_EVENT_QUEUE_HH
+#define UMANY_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace umany
+{
+
+/**
+ * The event queue at the heart of the simulator.
+ *
+ * Events are arbitrary callables. Ties at the same tick are broken
+ * by insertion order so behaviour is reproducible.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param when Absolute tick; must be >= now().
+     * @param cb Callback to invoke.
+     */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule a callback @p delta ticks in the future. */
+    void scheduleAfter(Tick delta, Callback cb)
+    {
+        schedule(_now + delta, std::move(cb));
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Total number of events dispatched so far. */
+    std::uint64_t dispatched() const { return dispatched_; }
+
+    /** Run until the queue drains. */
+    void run();
+
+    /**
+     * Run until the queue drains or simulated time would pass
+     * @p limit. Events scheduled at exactly @p limit still run.
+     *
+     * @return true if the queue drained, false if the limit stopped
+     *         the run first (remaining events stay queued).
+     */
+    bool runUntil(Tick limit);
+
+    /** Dispatch a single event. @return false if queue was empty. */
+    bool step();
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick _now = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t dispatched_ = 0;
+};
+
+} // namespace umany
+
+#endif // UMANY_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Status and error reporting helpers, following the gem5 convention:
+ * panic() for simulator bugs, fatal() for user/configuration errors,
+ * warn()/inform() for status messages that do not stop the run.
+ */
+
+#ifndef UMANY_SIM_LOGGING_HH
+#define UMANY_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace umany
+{
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style formatting into a std::string. */
+std::string vstrprintf(const char *fmt, va_list args);
+
+/**
+ * Report an internal simulator bug and abort.
+ *
+ * Use for conditions that should never happen regardless of user
+ * input.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error (bad configuration, invalid
+ * arguments) and exit with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious but survivable condition. */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+} // namespace umany
+
+#endif // UMANY_SIM_LOGGING_HH

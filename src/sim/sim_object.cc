@@ -1,0 +1,11 @@
+#include "sim/sim_object.hh"
+
+namespace umany
+{
+
+SimObject::SimObject(std::string name, EventQueue &eq)
+    : name_(std::move(name)), eq_(eq)
+{
+}
+
+} // namespace umany

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Base class for named simulation components.
+ */
+
+#ifndef UMANY_SIM_SIM_OBJECT_HH
+#define UMANY_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace umany
+{
+
+/**
+ * A named component attached to an event queue.
+ *
+ * Provides naming (for stats and debug output) and convenience
+ * scheduling helpers. Components are not copyable: they are wired
+ * into a machine once and addressed by pointer.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &eq);
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    /** Hierarchical component name, e.g. "server0.cluster3.village1". */
+    const std::string &name() const { return name_; }
+
+    /** The event queue this component runs on. */
+    EventQueue &eventq() const { return eq_; }
+
+    /** Current simulated time. */
+    Tick curTick() const { return eq_.now(); }
+
+  protected:
+    /** Schedule a member callback @p delta ticks from now. */
+    void
+    scheduleAfter(Tick delta, EventQueue::Callback cb)
+    {
+        eq_.scheduleAfter(delta, std::move(cb));
+    }
+
+  private:
+    std::string name_;
+    EventQueue &eq_;
+};
+
+} // namespace umany
+
+#endif // UMANY_SIM_SIM_OBJECT_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Fundamental simulation types and time conversion helpers.
+ *
+ * All simulated time is kept as an integer count of picoseconds so
+ * that cores with different clock frequencies (e.g. 2 GHz villages
+ * and 3 GHz server-class cores) and nanosecond-scale network delays
+ * compose without rounding drift.
+ */
+
+#ifndef UMANY_SIM_TYPES_HH
+#define UMANY_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace umany
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of clock cycles (frequency-dependent). */
+using Cycles = std::uint64_t;
+
+/** One nanosecond in ticks. */
+constexpr Tick tickPerNs = 1000;
+
+/** One microsecond in ticks. */
+constexpr Tick tickPerUs = 1000 * tickPerNs;
+
+/** One millisecond in ticks. */
+constexpr Tick tickPerMs = 1000 * tickPerUs;
+
+/** One second in ticks. */
+constexpr Tick tickPerSec = 1000 * tickPerMs;
+
+/** Convert nanoseconds to ticks. */
+constexpr Tick
+fromNs(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(tickPerNs));
+}
+
+/** Convert microseconds to ticks. */
+constexpr Tick
+fromUs(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(tickPerUs));
+}
+
+/** Convert milliseconds to ticks. */
+constexpr Tick
+fromMs(double ms)
+{
+    return static_cast<Tick>(ms * static_cast<double>(tickPerMs));
+}
+
+/** Convert seconds to ticks. */
+constexpr Tick
+fromSec(double sec)
+{
+    return static_cast<Tick>(sec * static_cast<double>(tickPerSec));
+}
+
+/** Convert ticks to microseconds (lossy, for reporting). */
+constexpr double
+toUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickPerUs);
+}
+
+/** Convert ticks to milliseconds (lossy, for reporting). */
+constexpr double
+toMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickPerMs);
+}
+
+/** Convert ticks to nanoseconds (lossy, for reporting). */
+constexpr double
+toNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickPerNs);
+}
+
+/**
+ * Convert a cycle count at a given frequency to ticks.
+ *
+ * @param cycles Number of clock cycles.
+ * @param ghz Clock frequency in GHz.
+ */
+constexpr Tick
+cyclesToTicks(double cycles, double ghz)
+{
+    // One cycle at f GHz lasts 1000/f picoseconds.
+    return static_cast<Tick>(cycles * (1000.0 / ghz));
+}
+
+/** Convert ticks to cycles at a given frequency (for reporting). */
+constexpr double
+ticksToCycles(Tick t, double ghz)
+{
+    return static_cast<double>(t) * ghz / 1000.0;
+}
+
+/** Identifier types, distinct for documentation purposes. */
+using CoreId = std::uint32_t;
+using VillageId = std::uint32_t;
+using ClusterId = std::uint32_t;
+using ServerId = std::uint32_t;
+using ServiceId = std::uint32_t;
+using RequestId = std::uint64_t;
+using NodeId = std::uint32_t;
+
+/** Sentinel for "no such id". */
+constexpr std::uint32_t invalidId = 0xffffffffu;
+
+} // namespace umany
+
+#endif // UMANY_SIM_TYPES_HH

@@ -1,0 +1,106 @@
+#include "stats/cdf.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+void
+Cdf::add(double x)
+{
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+void
+Cdf::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+Cdf::at(double x) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    const auto it =
+        std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+}
+
+double
+Cdf::quantile(double q) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    q = std::clamp(q, 0.0, 1.0);
+    const double pos = q * static_cast<double>(samples_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double
+Cdf::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+           static_cast<double>(samples_.size());
+}
+
+double
+Cdf::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return samples_.front();
+}
+
+double
+Cdf::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return samples_.back();
+}
+
+std::vector<std::pair<double, double>>
+Cdf::curve(std::size_t points, double lo, double hi) const
+{
+    std::vector<std::pair<double, double>> out;
+    if (points < 2 || samples_.empty())
+        return out;
+    out.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double x =
+            lo + (hi - lo) * static_cast<double>(i) /
+                     static_cast<double>(points - 1);
+        out.emplace_back(x, at(x));
+    }
+    return out;
+}
+
+std::string
+Cdf::format(std::size_t points, double lo, double hi) const
+{
+    std::string s;
+    for (const auto &[x, f] : curve(points, lo, hi))
+        s += strprintf("%12.2f  %6.4f\n", x, f);
+    return s;
+}
+
+} // namespace umany

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Empirical CDF builder used by the characterization figures
+ * (Fig 2 RPS, Fig 4 CPU utilization, Fig 5 RPC count).
+ */
+
+#ifndef UMANY_STATS_CDF_HH
+#define UMANY_STATS_CDF_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace umany
+{
+
+/**
+ * Collects raw samples and answers CDF/quantile queries.
+ *
+ * Sample storage is O(n); intended for characterization runs with
+ * up to a few million samples, not for per-request latency (use
+ * Histogram for that).
+ */
+class Cdf
+{
+  public:
+    /** Record one sample. */
+    void add(double x);
+
+    std::size_t count() const { return samples_.size(); }
+
+    /** Fraction of samples <= x. */
+    double at(double x) const;
+
+    /** Value at quantile q in [0,1]. */
+    double quantile(double q) const;
+
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /**
+     * Evaluate the CDF on @p points grid points spanning
+     * [min, max] (or [lo, hi] if given) and return (x, F(x)) pairs.
+     */
+    std::vector<std::pair<double, double>>
+    curve(std::size_t points, double lo, double hi) const;
+
+    /** Render the CDF as an ASCII table, one "x F(x)" row per point. */
+    std::string
+    format(std::size_t points, double lo, double hi) const;
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+
+    void ensureSorted() const;
+};
+
+} // namespace umany
+
+#endif // UMANY_STATS_CDF_HH

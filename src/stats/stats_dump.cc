@@ -1,0 +1,138 @@
+#include "stats/stats_dump.hh"
+
+#include <algorithm>
+
+#include "arch/cluster_sim.hh"
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+void
+StatsDump::add(std::string name, double value, std::string desc)
+{
+    entries_.push_back(
+        StatEntry{std::move(name), value, std::move(desc)});
+}
+
+double
+StatsDump::value(const std::string &name) const
+{
+    for (const StatEntry &e : entries_) {
+        if (e.name == name)
+            return e.value;
+    }
+    fatal("no statistic named '%s'", name.c_str());
+}
+
+bool
+StatsDump::has(const std::string &name) const
+{
+    return std::any_of(entries_.begin(), entries_.end(),
+                       [&](const StatEntry &e) {
+                           return e.name == name;
+                       });
+}
+
+std::string
+StatsDump::format() const
+{
+    std::size_t width = 0;
+    for (const StatEntry &e : entries_)
+        width = std::max(width, e.name.size());
+    std::string out;
+    for (const StatEntry &e : entries_) {
+        out += strprintf("%-*s  %14.6g  # %s\n",
+                         static_cast<int>(width), e.name.c_str(),
+                         e.value, e.desc.c_str());
+    }
+    return out;
+}
+
+StatsDump
+collectStats(ClusterSim &sim)
+{
+    StatsDump d;
+
+    d.add("cluster.roots.completed",
+          static_cast<double>(sim.completedRoots()),
+          "root requests completed during recording");
+    d.add("cluster.roots.rejected",
+          static_cast<double>(sim.rejectedRoots()),
+          "root requests rejected by admission control");
+    d.add("cluster.roots.qos_violations",
+          static_cast<double>(sim.qosViolations()),
+          "roots exceeding the QoS threshold");
+    d.add("cluster.latency.avg_ms",
+          toMs(static_cast<Tick>(sim.allLatency().mean())),
+          "mean end-to-end latency");
+    d.add("cluster.latency.p50_ms", toMs(sim.allLatency().p50()),
+          "median end-to-end latency");
+    d.add("cluster.latency.p99_ms", toMs(sim.allLatency().p99()),
+          "tail (P99) end-to-end latency");
+    d.add("cluster.requests.in_flight",
+          static_cast<double>(sim.requestsInFlight()),
+          "requests still alive (0 after a drained run)");
+    d.add("cluster.time.queued_us", sim.queuedTimeUs().mean(),
+          "mean per-request time waiting in queues");
+    d.add("cluster.time.blocked_us", sim.blockedTimeUs().mean(),
+          "mean per-request time blocked on calls");
+    d.add("cluster.time.running_us", sim.runningTimeUs().mean(),
+          "mean per-request on-core time");
+    d.add("cluster.time.cpu_utilization",
+          sim.requestCpuUtilization().mean(),
+          "mean per-request CPU utilization (sec 3.3)");
+
+    for (ServerId s = 0; s < sim.numServers(); ++s) {
+        Machine &m = sim.machine(s);
+        const std::string base = strprintf("server%u.", s);
+        d.add(base + "cores.utilization", m.avgCoreUtilization(),
+              "mean core busy fraction");
+        d.add(base + "cores.context_switches",
+              static_cast<double>(m.contextSwitches()),
+              "context switches across all cores");
+        d.add(base + "sched.dispatcher_util",
+              m.dispatcherUtilization(),
+              "software scheduler core utilization (0 for HW)");
+        d.add(base + "sched.dispatcher_ops",
+              static_cast<double>(m.dispatcherOps()),
+              "operations through the software scheduler");
+        d.add(base + "requests.completed",
+              static_cast<double>(m.completedRequests()),
+              "service requests finished on this machine");
+        d.add(base + "requests.rejected",
+              static_cast<double>(m.rejectedRequests()),
+              "service requests rejected on this machine");
+
+        const Network &net = m.network();
+        d.add(base + "net.messages",
+              static_cast<double>(net.messagesDelivered()),
+              "ICN messages delivered");
+        d.add(base + "net.latency_avg_ns",
+              toNs(static_cast<Tick>(net.latencyHist().mean())),
+              "mean ICN message latency");
+        d.add(base + "net.link_util_mean",
+              net.meanLinkUtilization(),
+              "mean non-access link utilization");
+        d.add(base + "net.link_util_max", net.maxLinkUtilization(),
+              "hottest non-access link utilization");
+
+        d.add(base + "topnic.ingress_msgs",
+              static_cast<double>(m.topNic().ingressMsgs()),
+              "messages entering the package");
+        d.add(base + "topnic.egress_msgs",
+              static_cast<double>(m.topNic().egressMsgs()),
+              "messages leaving the package");
+
+        d.add(base + "storage.requests",
+              static_cast<double>(
+                  sim.server(s).storage().requests()),
+              "storage-tier accesses");
+        d.add(base + "storage.queueing_ms",
+              toMs(sim.server(s).storage().totalQueueing()),
+              "accumulated storage queueing time");
+    }
+    return d;
+}
+
+} // namespace umany

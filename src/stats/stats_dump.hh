@@ -1,0 +1,66 @@
+/**
+ * @file
+ * gem5-style statistics dump: a flat registry of named scalar
+ * statistics rendered as "name value # description" lines. The
+ * cluster simulation exposes a collector that walks every machine,
+ * network, NIC, and storage backend so a whole run can be inspected
+ * or diffed from one text artifact.
+ */
+
+#ifndef UMANY_STATS_STATS_DUMP_HH
+#define UMANY_STATS_STATS_DUMP_HH
+
+#include <string>
+#include <vector>
+
+namespace umany
+{
+
+class ClusterSim;
+
+/** One named scalar statistic. */
+struct StatEntry
+{
+    std::string name;  //!< Hierarchical, e.g. "server0.net.msgs".
+    double value = 0.0;
+    std::string desc;
+};
+
+/** A flat, ordered collection of statistics. */
+class StatsDump
+{
+  public:
+    /** Append one entry. */
+    void add(std::string name, double value, std::string desc);
+
+    /** Entries in insertion order. */
+    const std::vector<StatEntry> &entries() const { return entries_; }
+
+    /** Value of a named stat; fatal when absent. */
+    double value(const std::string &name) const;
+
+    /** True if a stat with this name exists. */
+    bool has(const std::string &name) const;
+
+    /**
+     * Render in gem5's text-stats style:
+     *   name  value  # description
+     */
+    std::string format() const;
+
+  private:
+    std::vector<StatEntry> entries_;
+};
+
+/**
+ * Collect the full statistics tree of a cluster simulation:
+ * per-server core/dispatcher utilization, context switches,
+ * completed/rejected requests, network message/byte/latency
+ * aggregates, top-NIC and storage counters, plus cluster-level
+ * latency percentiles.
+ */
+StatsDump collectStats(ClusterSim &sim);
+
+} // namespace umany
+
+#endif // UMANY_STATS_STATS_DUMP_HH

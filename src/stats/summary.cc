@@ -1,0 +1,64 @@
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace umany
+{
+
+void
+Summary::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+Summary::variance() const
+{
+    return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Summary::merge(const Summary &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    mean_ = (mean_ * na + other.mean_ * nb) / total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+Summary::clear()
+{
+    *this = Summary();
+}
+
+} // namespace umany

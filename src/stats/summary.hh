@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Streaming scalar summary: count/mean/variance/min/max via Welford's
+ * algorithm. Used for utilization counters and quick aggregates where
+ * a full histogram is overkill.
+ */
+
+#ifndef UMANY_STATS_SUMMARY_HH
+#define UMANY_STATS_SUMMARY_HH
+
+#include <cstdint>
+
+namespace umany
+{
+
+/** Streaming mean/stddev/min/max accumulator. */
+class Summary
+{
+  public:
+    /** Record one sample. */
+    void add(double x);
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    /** Population variance (0 when fewer than 2 samples). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Merge another summary into this one. */
+    void merge(const Summary &other);
+
+    /** Forget all samples. */
+    void clear();
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+} // namespace umany
+
+#endif // UMANY_STATS_SUMMARY_HH

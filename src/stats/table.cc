@@ -1,0 +1,68 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        fatal("table row has %zu cells, expected %zu", cells.size(),
+              headers_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    return strprintf("%.*f", precision, v);
+}
+
+std::string
+Table::format() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += strprintf("%-*s", static_cast<int>(widths[c] + 2),
+                              row[c].c_str());
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out = renderRow(headers_);
+    std::string sep;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        sep += std::string(widths[c], '-');
+        if (c + 1 < widths.size())
+            sep += "  ";
+    }
+    out += sep + "\n";
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    return out;
+}
+
+} // namespace umany

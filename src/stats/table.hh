@@ -1,0 +1,48 @@
+/**
+ * @file
+ * ASCII table formatting for bench output. Every figure/table bench
+ * prints its rows through this so the output style is uniform.
+ */
+
+#ifndef UMANY_STATS_TABLE_HH
+#define UMANY_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace umany
+{
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ *   Table t({"app", "tail (ms)", "norm"});
+ *   t.addRow({"Text", "4.1", "1.00"});
+ *   std::cout << t.format();
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must match the header column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double cell with %.*f. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render with aligned columns and a header separator. */
+    std::string format() const;
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t columns() const { return headers_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace umany
+
+#endif // UMANY_STATS_TABLE_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Branch predictor interface for the Fig 1 characterization: a
+ * simple g-share baseline vs a perceptron predictor (Jimenez & Lin,
+ * HPCA '01).
+ */
+
+#ifndef UMANY_UARCH_BPRED_HH
+#define UMANY_UARCH_BPRED_HH
+
+#include <cstdint>
+
+namespace umany
+{
+
+/** Interface for direction predictors. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the branch at @p pc. */
+    virtual bool predict(std::uint64_t pc) = 0;
+
+    /** Train with the resolved direction. */
+    virtual void update(std::uint64_t pc, bool taken) = 0;
+
+    virtual const char *name() const = 0;
+
+    /** Run one branch through predict+update; true if correct. */
+    bool
+    step(std::uint64_t pc, bool taken)
+    {
+        const bool correct = predict(pc) == taken;
+        update(pc, taken);
+        return correct;
+    }
+};
+
+} // namespace umany
+
+#endif // UMANY_UARCH_BPRED_HH

@@ -1,0 +1,44 @@
+#include "uarch/gshare.hh"
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+GsharePredictor::GsharePredictor(unsigned table_bits,
+                                 unsigned history_bits)
+    : tableBits_(table_bits), historyBits_(history_bits)
+{
+    if (history_bits > table_bits)
+        fatal("gshare history (%u) longer than index (%u)",
+              history_bits, table_bits);
+    counters_.assign(1ull << tableBits_, 2); // weakly taken
+}
+
+std::size_t
+GsharePredictor::indexOf(std::uint64_t pc) const
+{
+    const std::uint64_t mask = (1ull << tableBits_) - 1;
+    const std::uint64_t hist_mask = (1ull << historyBits_) - 1;
+    return static_cast<std::size_t>(
+        ((pc >> 2) ^ (history_ & hist_mask)) & mask);
+}
+
+bool
+GsharePredictor::predict(std::uint64_t pc)
+{
+    return counters_[indexOf(pc)] >= 2;
+}
+
+void
+GsharePredictor::update(std::uint64_t pc, bool taken)
+{
+    std::uint8_t &ctr = counters_[indexOf(pc)];
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+} // namespace umany

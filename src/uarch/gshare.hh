@@ -1,0 +1,44 @@
+/**
+ * @file
+ * G-share branch predictor: global history XORed with the PC indexes
+ * a table of 2-bit saturating counters. The baseline predictor of
+ * the Fig 1 branch-prediction comparison.
+ */
+
+#ifndef UMANY_UARCH_GSHARE_HH
+#define UMANY_UARCH_GSHARE_HH
+
+#include <vector>
+
+#include "uarch/bpred.hh"
+
+namespace umany
+{
+
+/** Classic g-share with configurable table and history length. */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param table_bits log2 of the counter-table size.
+     * @param history_bits Global-history length (<= table_bits).
+     */
+    explicit GsharePredictor(unsigned table_bits = 14,
+                             unsigned history_bits = 12);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    const char *name() const override { return "gshare"; }
+
+  private:
+    unsigned tableBits_;
+    unsigned historyBits_;
+    std::uint64_t history_ = 0;
+    std::vector<std::uint8_t> counters_;
+
+    std::size_t indexOf(std::uint64_t pc) const;
+};
+
+} // namespace umany
+
+#endif // UMANY_UARCH_GSHARE_HH

@@ -1,0 +1,67 @@
+#include "uarch/ispy_lite.hh"
+
+#include <algorithm>
+
+namespace umany
+{
+
+IspyLitePrefetcher::IspyLitePrefetcher(unsigned context_len,
+                                       unsigned fanout)
+    : contextLen_(context_len), fanout_(fanout)
+{
+}
+
+std::uint64_t
+IspyLitePrefetcher::hashHistory() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const std::uint64_t line : history_) {
+        h ^= line;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+IspyLitePrefetcher::learn(std::uint64_t context,
+                          std::uint64_t miss_line)
+{
+    Successors &s = table_[context];
+    auto it = std::find(s.lines.begin(), s.lines.end(), miss_line);
+    if (it != s.lines.end())
+        s.lines.erase(it);
+    s.lines.insert(s.lines.begin(), miss_line);
+    if (s.lines.size() > fanout_)
+        s.lines.resize(fanout_);
+}
+
+void
+IspyLitePrefetcher::observe(std::uint64_t addr, bool hit, Cache &cache)
+{
+    creditIfPrefetched(addr, cache);
+    if (hit)
+        return;
+
+    const std::uint64_t line = addr / cache.params().lineBytes;
+
+    // Teach the previous context that this miss follows it.
+    if (havePending_)
+        learn(pendingContext_, line);
+
+    // Update the miss history and prefetch this context's learned
+    // successors.
+    history_.push_back(line);
+    if (history_.size() > contextLen_)
+        history_.erase(history_.begin());
+    const std::uint64_t context = hashHistory();
+    pendingContext_ = context;
+    havePending_ = true;
+
+    auto it = table_.find(context);
+    if (it != table_.end()) {
+        for (const std::uint64_t succ : it->second.lines)
+            issue(succ * cache.params().lineBytes, cache);
+    }
+}
+
+} // namespace umany

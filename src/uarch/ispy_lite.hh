@@ -1,0 +1,56 @@
+/**
+ * @file
+ * I-SPY-lite: context-driven instruction prefetcher in the spirit of
+ * I-SPY (Khan et al., MICRO '20). A context is a hash of the last
+ * few instruction-miss lines; each context learns the misses that
+ * follow it and prefetches them the next time the context recurs.
+ */
+
+#ifndef UMANY_UARCH_ISPY_LITE_HH
+#define UMANY_UARCH_ISPY_LITE_HH
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "uarch/prefetcher.hh"
+
+namespace umany
+{
+
+/** Context-driven instruction prefetcher. */
+class IspyLitePrefetcher : public Prefetcher
+{
+  public:
+    /**
+     * @param context_len Miss-history length hashed into a context.
+     * @param fanout Successor lines remembered per context.
+     */
+    explicit IspyLitePrefetcher(unsigned context_len = 3,
+                                unsigned fanout = 4);
+
+    void observe(std::uint64_t addr, bool hit, Cache &cache) override;
+    const char *name() const override { return "ispy-lite"; }
+
+    std::size_t contexts() const { return table_.size(); }
+
+  private:
+    struct Successors
+    {
+        std::vector<std::uint64_t> lines; //!< Most-recent first.
+    };
+
+    unsigned contextLen_;
+    unsigned fanout_;
+    std::vector<std::uint64_t> history_; //!< Recent miss lines.
+    std::uint64_t pendingContext_ = 0;
+    bool havePending_ = false;
+    std::unordered_map<std::uint64_t, Successors> table_;
+
+    std::uint64_t hashHistory() const;
+    void learn(std::uint64_t context, std::uint64_t miss_line);
+};
+
+} // namespace umany
+
+#endif // UMANY_UARCH_ISPY_LITE_HH

@@ -1,0 +1,68 @@
+#include "uarch/perceptron.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace umany
+{
+
+PerceptronPredictor::PerceptronPredictor(unsigned num_perceptrons,
+                                         unsigned history_bits)
+    : numPerceptrons_(num_perceptrons), historyBits_(history_bits)
+{
+    // Optimal threshold from the paper: 1.93 * h + 14.
+    threshold_ = static_cast<int>(1.93 * history_bits + 14);
+    weights_.assign(
+        static_cast<std::size_t>(num_perceptrons) * (history_bits + 1),
+        0);
+}
+
+std::size_t
+PerceptronPredictor::rowOf(std::uint64_t pc) const
+{
+    return static_cast<std::size_t>((pc >> 2) % numPerceptrons_) *
+           (historyBits_ + 1);
+}
+
+int
+PerceptronPredictor::dot(std::uint64_t pc) const
+{
+    const std::size_t row = rowOf(pc);
+    int y = weights_[row]; // bias
+    for (unsigned i = 0; i < historyBits_; ++i) {
+        const int x = ((history_ >> i) & 1) ? 1 : -1;
+        y += x * weights_[row + 1 + i];
+    }
+    return y;
+}
+
+bool
+PerceptronPredictor::predict(std::uint64_t pc)
+{
+    lastOutput_ = dot(pc);
+    return lastOutput_ >= 0;
+}
+
+void
+PerceptronPredictor::update(std::uint64_t pc, bool taken)
+{
+    const int y = lastOutput_;
+    const int t = taken ? 1 : -1;
+    const bool mispredicted = (y >= 0) != taken;
+    if (mispredicted || std::abs(y) <= threshold_) {
+        const std::size_t row = rowOf(pc);
+        auto bump = [](std::int16_t &w, int dir) {
+            const int next = w + dir;
+            if (next <= 127 && next >= -128)
+                w = static_cast<std::int16_t>(next);
+        };
+        bump(weights_[row], t);
+        for (unsigned i = 0; i < historyBits_; ++i) {
+            const int x = ((history_ >> i) & 1) ? 1 : -1;
+            bump(weights_[row + 1 + i], t * x);
+        }
+    }
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+} // namespace umany

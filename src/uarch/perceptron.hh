@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Perceptron branch predictor (Jimenez & Lin, HPCA '01): per-PC
+ * weight vectors over global history bits, trained on mispredictions
+ * or weak outputs. Captures long linear correlations g-share cannot.
+ */
+
+#ifndef UMANY_UARCH_PERCEPTRON_HH
+#define UMANY_UARCH_PERCEPTRON_HH
+
+#include <vector>
+
+#include "uarch/bpred.hh"
+
+namespace umany
+{
+
+/** Perceptron predictor with configurable history length. */
+class PerceptronPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param num_perceptrons Table entries (indexed by PC hash).
+     * @param history_bits Global history / weight vector length.
+     */
+    explicit PerceptronPredictor(unsigned num_perceptrons = 1024,
+                                 unsigned history_bits = 32);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    const char *name() const override { return "perceptron"; }
+
+  private:
+    unsigned numPerceptrons_;
+    unsigned historyBits_;
+    int threshold_;
+    std::uint64_t history_ = 0;
+    // weights_[p * (history_bits + 1) + i]; slot 0 is the bias.
+    std::vector<std::int16_t> weights_;
+    int lastOutput_ = 0;
+
+    std::size_t rowOf(std::uint64_t pc) const;
+    int dot(std::uint64_t pc) const;
+};
+
+} // namespace umany
+
+#endif // UMANY_UARCH_PERCEPTRON_HH

@@ -1,0 +1,44 @@
+#include "uarch/pipeline_model.hh"
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+double
+PipelineModel::cpi(const CpiInputs &in) const
+{
+    // Data-side stalls, partially hidden by memory-level parallelism.
+    const double data_miss_cost =
+        in.dataL1MissRate *
+        ((1.0 - in.dataL2MissRate) * p_.l2HitCycles +
+         in.dataL2MissRate * p_.memCycles) /
+        p_.memLevelParallelism;
+
+    // Instruction-side stalls: fetch misses starve the front end and
+    // are not overlapped. One instruction-line fetch covers several
+    // instructions; fold that into a per-instruction rate using a
+    // nominal 16 instructions per line / 4-wide fetch = 0.25
+    // line-fetches per instruction.
+    constexpr double fetches_per_instr = 0.25;
+    const double instr_miss_cost =
+        fetches_per_instr * in.instrL1MissRate *
+        ((1.0 - in.instrL2MissRate) * p_.l2HitCycles +
+         in.instrL2MissRate * p_.memCycles);
+
+    const double branch_cost =
+        p_.branchesPerInstr * in.mispredictRate * p_.mispredictPenalty;
+
+    return p_.baseCpi + p_.loadsPerInstr * data_miss_cost +
+           instr_miss_cost + branch_cost;
+}
+
+double
+PipelineModel::speedup(double cpi_base, double cpi_optimized)
+{
+    if (cpi_optimized <= 0.0)
+        panic("speedup with non-positive optimized CPI");
+    return cpi_base / cpi_optimized;
+}
+
+} // namespace umany

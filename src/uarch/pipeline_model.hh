@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Analytic pipeline/CPI model. Converts measured cache-miss and
+ * branch-misprediction rates into cycles-per-instruction and
+ * speedups, following the standard additive stall decomposition.
+ */
+
+#ifndef UMANY_UARCH_PIPELINE_MODEL_HH
+#define UMANY_UARCH_PIPELINE_MODEL_HH
+
+namespace umany
+{
+
+/** Static pipeline/latency parameters. */
+struct PipelineParams
+{
+    double baseCpi = 0.4;       //!< Ideal issue-limited CPI.
+    double l2HitCycles = 16.0;  //!< L1-miss, L2-hit penalty.
+    double memCycles = 200.0;   //!< L2-miss penalty.
+    double mispredictPenalty = 16.0;
+    double loadsPerInstr = 0.30;
+    double branchesPerInstr = 0.20;
+    /**
+     * Effective MLP divisor: out-of-order cores overlap part of the
+     * data-miss latency.
+     */
+    double memLevelParallelism = 3.0;
+};
+
+/** Measured event rates feeding the CPI model. */
+struct CpiInputs
+{
+    double dataL1MissRate = 0.0;   //!< Per data access.
+    double dataL2MissRate = 0.0;   //!< Per L1-data miss.
+    double instrL1MissRate = 0.0;  //!< Per instruction-line fetch.
+    double instrL2MissRate = 0.0;  //!< Per L1-instr miss.
+    double mispredictRate = 0.0;   //!< Per branch.
+};
+
+/** Analytic CPI estimator. */
+class PipelineModel
+{
+  public:
+    explicit PipelineModel(const PipelineParams &p) : p_(p) {}
+
+    /** Estimated CPI for the given event rates. */
+    double cpi(const CpiInputs &in) const;
+
+    /** speedup = cpi(base) / cpi(optimized). */
+    static double speedup(double cpi_base, double cpi_optimized);
+
+    const PipelineParams &params() const { return p_; }
+
+  private:
+    PipelineParams p_;
+};
+
+} // namespace umany
+
+#endif // UMANY_UARCH_PIPELINE_MODEL_HH

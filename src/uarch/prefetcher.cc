@@ -1,0 +1,29 @@
+#include "uarch/prefetcher.hh"
+
+namespace umany
+{
+
+void
+Prefetcher::issue(std::uint64_t addr, Cache &cache)
+{
+    const std::uint64_t line = addr / cache.params().lineBytes;
+    if (cache.contains(addr))
+        return;
+    cache.fill(addr);
+    outstanding_.insert(line);
+    ++issued_;
+}
+
+bool
+Prefetcher::creditIfPrefetched(std::uint64_t addr, const Cache &cache)
+{
+    const std::uint64_t line = addr / cache.params().lineBytes;
+    auto it = outstanding_.find(line);
+    if (it == outstanding_.end())
+        return false;
+    ++useful_;
+    outstanding_.erase(it);
+    return true;
+}
+
+} // namespace umany

@@ -1,0 +1,112 @@
+#include "uarch/pythia_lite.hh"
+
+#include <algorithm>
+
+namespace umany
+{
+
+constexpr int PythiaLitePrefetcher::actions[];
+
+PythiaLitePrefetcher::PythiaLitePrefetcher(std::uint64_t seed)
+    : rng_(seed)
+{
+    qtable_.assign(deltaBuckets * offsetBuckets * numActions, 0.0);
+}
+
+std::size_t
+PythiaLitePrefetcher::stateOf(std::uint64_t line) const
+{
+    const std::int64_t delta =
+        static_cast<std::int64_t>(line) -
+        static_cast<std::int64_t>(lastLine_);
+    // Bucket the signed delta into [0, deltaBuckets).
+    const std::int64_t clamped =
+        std::clamp<std::int64_t>(delta, -8, 7) + 8;
+    const std::size_t offset =
+        static_cast<std::size_t>(line % offsetBuckets);
+    return static_cast<std::size_t>(clamped) * offsetBuckets + offset;
+}
+
+std::size_t
+PythiaLitePrefetcher::chooseAction(std::size_t state)
+{
+    if (rng_.chance(epsilon))
+        return static_cast<std::size_t>(rng_.below(numActions));
+    const std::size_t base = state * numActions;
+    std::size_t best = 0;
+    for (std::size_t a = 1; a < numActions; ++a) {
+        if (qtable_[base + a] > qtable_[base + best])
+            best = a;
+    }
+    return best;
+}
+
+void
+PythiaLitePrefetcher::reward(std::size_t state, std::size_t action,
+                             double r)
+{
+    double &q = qtable_[state * numActions + action];
+    q += alpha * (r - q);
+}
+
+void
+PythiaLitePrefetcher::expirePending()
+{
+    while (!pending_.empty() &&
+           pending_.front().deadline < accessCount_) {
+        const Pending &p = pending_.front();
+        // Timed out unused: negative reward.
+        reward(p.state, p.action, -0.3);
+        pending_.pop_front();
+    }
+}
+
+void
+PythiaLitePrefetcher::observe(std::uint64_t addr, bool, Cache &cache)
+{
+    ++accessCount_;
+    const std::uint64_t line = addr / cache.params().lineBytes;
+
+    // Reward pending prefetches that the demand stream just used.
+    if (creditIfPrefetched(addr, cache)) {
+        for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+            if (it->line == line) {
+                reward(it->state, it->action, 1.0);
+                pending_.erase(it);
+                break;
+            }
+        }
+    }
+    expirePending();
+
+    const std::size_t state = stateOf(line);
+    const std::size_t action = chooseAction(state);
+    const int offset = actions[action];
+    if (offset != 0) {
+        const std::int64_t target_line =
+            static_cast<std::int64_t>(line) + offset;
+        if (target_line >= 0) {
+            const std::uint64_t target =
+                static_cast<std::uint64_t>(target_line) *
+                cache.params().lineBytes;
+            if (!cache.contains(target)) {
+                issue(target, cache);
+                pending_.push_back(Pending{
+                    static_cast<std::uint64_t>(target_line), state,
+                    action, accessCount_ + rewardWindow});
+            } else {
+                // Redundant prefetch: mild penalty teaches the agent
+                // not to waste bandwidth.
+                reward(state, action, -0.05);
+            }
+        }
+    } else {
+        // "No prefetch" receives a small neutral-positive reward so
+        // it wins in streams where prefetching never pays.
+        reward(state, action, 0.02);
+    }
+
+    lastLine_ = line;
+}
+
+} // namespace umany

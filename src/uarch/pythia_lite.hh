@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Pythia-lite: a reinforcement-learning data prefetcher in the
+ * spirit of Pythia (Bera et al., MICRO '21). State features (page
+ * offset, last delta) index a Q-table over candidate prefetch
+ * offsets; rewards are granted for prefetches that see demand hits
+ * and small penalties for unused ones, learned online with
+ * epsilon-greedy exploration.
+ */
+
+#ifndef UMANY_UARCH_PYTHIA_LITE_HH
+#define UMANY_UARCH_PYTHIA_LITE_HH
+
+#include <deque>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "uarch/prefetcher.hh"
+
+namespace umany
+{
+
+/** RL-based data prefetcher. */
+class PythiaLitePrefetcher : public Prefetcher
+{
+  public:
+    explicit PythiaLitePrefetcher(std::uint64_t seed = 42);
+
+    void observe(std::uint64_t addr, bool hit, Cache &cache) override;
+    const char *name() const override { return "pythia-lite"; }
+
+  private:
+    // Candidate actions: prefetch offset in lines (0 = no prefetch).
+    static constexpr int actions[] = {0, 1, 2, 3, 4, 8, -1, -2};
+    static constexpr std::size_t numActions = 8;
+    static constexpr std::size_t deltaBuckets = 16;
+    static constexpr std::size_t offsetBuckets = 16;
+    static constexpr double alpha = 0.15;   //!< Learning rate.
+    static constexpr double epsilon = 0.05; //!< Exploration.
+    static constexpr std::size_t rewardWindow = 256;
+
+    struct Pending
+    {
+        std::uint64_t line;
+        std::size_t state;
+        std::size_t action;
+        std::uint64_t deadline; //!< Access count for timeout.
+    };
+
+    Rng rng_;
+    std::vector<double> qtable_; //!< [state * numActions + action]
+    std::uint64_t lastLine_ = 0;
+    std::uint64_t accessCount_ = 0;
+    std::deque<Pending> pending_;
+
+    std::size_t stateOf(std::uint64_t line) const;
+    std::size_t chooseAction(std::size_t state);
+    void reward(std::size_t state, std::size_t action, double r);
+    void expirePending();
+};
+
+} // namespace umany
+
+#endif // UMANY_UARCH_PYTHIA_LITE_HH

@@ -1,0 +1,64 @@
+#include "uarch/stride_prefetcher.hh"
+
+namespace umany
+{
+
+StridePrefetcher::StridePrefetcher(unsigned streams, unsigned degree)
+    : degree_(degree)
+{
+    streams_.assign(streams, Stream{});
+}
+
+StridePrefetcher::Stream &
+StridePrefetcher::streamFor(std::uint64_t addr)
+{
+    const std::uint64_t region = addr >> regionShift;
+    Stream *victim = &streams_[0];
+    for (auto &s : streams_) {
+        if (s.valid && s.region == region)
+            return s;
+        if (!s.valid || s.lruStamp < victim->lruStamp)
+            victim = &s;
+    }
+    // Allocate a fresh stream in the LRU slot.
+    *victim = Stream{};
+    victim->valid = true;
+    victim->region = region;
+    victim->last = addr;
+    return *victim;
+}
+
+void
+StridePrefetcher::observe(std::uint64_t addr, bool, Cache &cache)
+{
+    creditIfPrefetched(addr, cache);
+
+    Stream &s = streamFor(addr);
+    s.lruStamp = ++stamp_;
+    const std::int64_t delta =
+        static_cast<std::int64_t>(addr) -
+        static_cast<std::int64_t>(s.last);
+    if (delta == 0) {
+        return;
+    }
+    if (delta == s.delta) {
+        if (s.confidence < 3)
+            ++s.confidence;
+    } else {
+        s.delta = delta;
+        s.confidence = 1;
+    }
+    s.last = addr;
+
+    if (s.confidence >= 2) {
+        for (unsigned d = 1; d <= degree_; ++d) {
+            const std::int64_t target =
+                static_cast<std::int64_t>(addr) +
+                s.delta * static_cast<std::int64_t>(d);
+            if (target >= 0)
+                issue(static_cast<std::uint64_t>(target), cache);
+        }
+    }
+}
+
+} // namespace umany

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Delta-correlation stride prefetcher: detects a repeated address
+ * delta in the demand stream and prefetches ahead with configurable
+ * degree. Serves as the conventional-prefetcher reference point.
+ */
+
+#ifndef UMANY_UARCH_STRIDE_PREFETCHER_HH
+#define UMANY_UARCH_STRIDE_PREFETCHER_HH
+
+#include <vector>
+
+#include "uarch/prefetcher.hh"
+
+namespace umany
+{
+
+/**
+ * Stream-table stride prefetcher. Tracks a small number of
+ * concurrent streams by memory region; a stream that confirms the
+ * same delta twice starts prefetching degree lines ahead.
+ */
+class StridePrefetcher : public Prefetcher
+{
+  public:
+    /**
+     * @param streams Concurrent streams tracked.
+     * @param degree Prefetch distance in deltas.
+     */
+    explicit StridePrefetcher(unsigned streams = 16,
+                              unsigned degree = 4);
+
+    void observe(std::uint64_t addr, bool hit, Cache &cache) override;
+    const char *name() const override { return "stride"; }
+
+  private:
+    struct Stream
+    {
+        bool valid = false;
+        std::uint64_t region = 0;   //!< addr >> regionShift.
+        std::uint64_t last = 0;
+        std::int64_t delta = 0;
+        int confidence = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    static constexpr unsigned regionShift = 16; //!< 64 KB regions.
+
+    unsigned degree_;
+    std::vector<Stream> streams_;
+    std::uint64_t stamp_ = 0;
+
+    Stream &streamFor(std::uint64_t addr);
+};
+
+} // namespace umany
+
+#endif // UMANY_UARCH_STRIDE_PREFETCHER_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Synthetic microarchitecture trace generation (Fig 1 substrate).
+ *
+ * Generates data-address, instruction-address, and branch traces
+ * with the locality characteristics the paper attributes to each
+ * workload class:
+ *  - Monolithic: multi-MB data working sets with streaming and
+ *    irregular components, >L1I code footprints with recurring call
+ *    sequences, and branches that include long-range correlated
+ *    patterns.
+ *  - Microservice: ≈0.5 MB handler footprints with high temporal
+ *    locality (Section 3.5), small code footprints that fit L1I,
+ *    and heavily biased branches.
+ */
+
+#ifndef UMANY_UARCH_TRACE_GEN_HH
+#define UMANY_UARCH_TRACE_GEN_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace umany
+{
+
+/** One synthetic workload trace. */
+struct UarchTrace
+{
+    std::vector<std::uint64_t> dataAddrs;
+    std::vector<std::uint64_t> instrAddrs;
+    /** (branch PC, taken) in program order. */
+    std::vector<std::pair<std::uint64_t, bool>> branches;
+};
+
+/** Generators for the two workload classes. */
+class TraceGen
+{
+  public:
+    /** Monolithic-application profile. */
+    static UarchTrace monolithic(std::uint64_t seed, std::size_t n);
+
+    /** Microservice-handler profile. */
+    static UarchTrace microservice(std::uint64_t seed, std::size_t n);
+
+    /**
+     * The most frequently executed instruction lines of a trace —
+     * the offline profile the Ripple-lite replacement policy uses.
+     *
+     * @param fraction Fraction of unique lines to mark hot.
+     * @param line_bytes Cache line size.
+     */
+    static std::vector<std::uint64_t>
+    hotInstrLines(const UarchTrace &trace, double fraction,
+                  std::uint32_t line_bytes);
+};
+
+} // namespace umany
+
+#endif // UMANY_UARCH_TRACE_GEN_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The DeathStarBench-SocialNetwork-like application graph used by the
+ * end-to-end evaluation (Figs 14–19).
+ *
+ * The 8 externally invoked endpoints match the paper's Fig 14 apps:
+ * Text, SGraph, User, PstStr, UsrMnt, HomeT, CPost, UrlShort. Each
+ * endpoint's behaviour generator produces compute segments and
+ * blocking call groups whose structure (fan-out, nesting, storage
+ * access counts) approximates the SocialNetwork service dependency
+ * graph; calibration matches the aggregate statistics the paper
+ * reports (§3.3: ≈120 μs average handler execution, ≈3.1 RPCs per
+ * service request, CPU utilization per request well below 60%).
+ */
+
+#ifndef UMANY_WORKLOAD_APP_GRAPH_HH
+#define UMANY_WORKLOAD_APP_GRAPH_HH
+
+#include "workload/service.hh"
+
+namespace umany
+{
+
+/** Calibration knobs for the social-network graph. */
+struct AppGraphParams
+{
+    /**
+     * Multiplier on all handler compute segments. The default makes
+     * per-root-request total CPU demand match the paper's reported
+     * per-server utilization bands (5/10/15K RPS -> <30/30-60/>60%
+     * on the 40-core ServerClass).
+     */
+    double workScale = 8.0;
+    /** Lognormal sigma of segment durations. */
+    double segSigma = 0.30;
+};
+
+/** Names of the 8 endpoints in paper order. */
+extern const char *const socialNetworkEndpointNames[8];
+
+/** Build the social-network service catalog. */
+ServiceCatalog buildSocialNetwork(const AppGraphParams &p = {});
+
+} // namespace umany
+
+#endif // UMANY_WORKLOAD_APP_GRAPH_HH

@@ -1,0 +1,74 @@
+#include "workload/loadgen.hh"
+
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+LoadGenerator::LoadGenerator(EventQueue &eq,
+                             const ServiceCatalog &catalog,
+                             const LoadGenParams &p, SubmitFn submit)
+    : eq_(eq), catalog_(catalog), p_(p), submit_(std::move(submit)),
+      rng_(p.seed)
+{
+    if (p_.rps <= 0.0)
+        fatal("load generator rate must be positive (got %f)", p_.rps);
+    endpoints_ = catalog_.endpoints();
+    if (endpoints_.empty())
+        fatal("load generator needs at least one endpoint service");
+    for (const ServiceId id : endpoints_) {
+        totalWeight_ += catalog_.at(id).mixWeight;
+        cumWeight_.push_back(totalWeight_);
+    }
+    if (p_.kind == ArrivalKind::Bursty) {
+        // Normalize the state multipliers so the stay-weighted
+        // average rate equals the requested mean rate.
+        double weighted = 0.0;
+        double stay_sum = 0.0;
+        for (const auto &[mult, stay] : p_.burstStates) {
+            weighted += mult * stay;
+            stay_sum += stay;
+        }
+        const double norm = weighted / stay_sum;
+        std::vector<Mmpp::State> states;
+        for (const auto &[mult, stay] : p_.burstStates)
+            states.push_back(Mmpp::State{p_.rps * mult / norm, stay});
+        mmpp_ = std::make_unique<Mmpp>(states, rng_.next());
+    }
+}
+
+ServiceId
+LoadGenerator::pickEndpoint()
+{
+    const double u = rng_.uniform(0.0, totalWeight_);
+    for (std::size_t i = 0; i < cumWeight_.size(); ++i) {
+        if (u < cumWeight_[i])
+            return endpoints_[i];
+    }
+    return endpoints_.back();
+}
+
+void
+LoadGenerator::start()
+{
+    scheduleNext(p_.start);
+}
+
+void
+LoadGenerator::scheduleNext(Tick from)
+{
+    const double gap_sec = mmpp_ ? mmpp_->nextInterarrival()
+                                 : rng_.expMean(1.0 / p_.rps);
+    const Tick when = from + fromSec(gap_sec);
+    if (when >= p_.stop)
+        return;
+    eq_.schedule(when, [this, when]() {
+        ++generated_;
+        submit_(pickEndpoint());
+        scheduleNext(when);
+    });
+}
+
+} // namespace umany

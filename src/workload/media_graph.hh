@@ -1,0 +1,31 @@
+/**
+ * @file
+ * A second DeathStarBench-like application: the MediaService
+ * (movie-review) graph. The paper evaluates the 8 SocialNetwork
+ * endpoints and notes "the results are similar for the other
+ * applications of the benchmark suite" (§5); this catalog lets the
+ * harness check that claim on an independent service graph.
+ */
+
+#ifndef UMANY_WORKLOAD_MEDIA_GRAPH_HH
+#define UMANY_WORKLOAD_MEDIA_GRAPH_HH
+
+#include "workload/app_graph.hh"
+
+namespace umany
+{
+
+/** Names of the MediaService endpoints. */
+extern const char *const mediaServiceEndpointNames[6];
+
+/**
+ * Build the media-service catalog: six endpoints (ComposeReview,
+ * ReadMovie, ReadReviews, Login, Rate, CastInfo) over internal
+ * services (MovieId, ReviewStorage, UserSvc, Text), with the same
+ * calibration knobs as the social-network graph.
+ */
+ServiceCatalog buildMediaService(const AppGraphParams &p = {});
+
+} // namespace umany
+
+#endif // UMANY_WORKLOAD_MEDIA_GRAPH_HH

@@ -1,0 +1,21 @@
+#include "workload/snapshot.hh"
+
+namespace umany
+{
+
+Tick
+SnapshotBootModel::boot(Tick when, const ServiceSpec &svc,
+                        MemoryPool &pool)
+{
+    if (pool.hasSnapshot(svc.id)) {
+        const Tick read_done =
+            pool.lmemTransfer(when, pool.snapshotBytes(svc.id));
+        return read_done + p_.warmFixed;
+    }
+    const Tick booted = when + p_.coldBoot;
+    // Persist the freshly initialized state for future instances.
+    pool.storeSnapshot(svc.id, svc.snapshotBytes);
+    return booted;
+}
+
+} // namespace umany

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Service-instance boot model with and without memory-pool snapshots
+ * (§3.5): cold boot runs container/runtime/library initialization
+ * (~300 ms); a snapshot-resident instance only reads its snapshot
+ * from the cluster's SRAM pool (<10 ms).
+ */
+
+#ifndef UMANY_WORKLOAD_SNAPSHOT_HH
+#define UMANY_WORKLOAD_SNAPSHOT_HH
+
+#include "mem/memory_pool.hh"
+#include "sim/types.hh"
+#include "workload/service.hh"
+
+namespace umany
+{
+
+/** Boot-cost parameters. */
+struct SnapshotBootParams
+{
+    Tick coldBoot = fromMs(320.0);  //!< Full initialization.
+    Tick warmFixed = fromMs(4.0);   //!< Residual setup after restore.
+};
+
+/** Computes instance creation latency given pool residency. */
+class SnapshotBootModel
+{
+  public:
+    explicit SnapshotBootModel(const SnapshotBootParams &p = {})
+        : p_(p)
+    {
+    }
+
+    /**
+     * Boot an instance of @p svc at @p when using @p pool.
+     *
+     * If the snapshot is resident, boot = snapshot read (L-MEM bulk
+     * transfer) + fixed residual; otherwise a cold boot runs and the
+     * snapshot is stored for next time (when capacity allows).
+     *
+     * @return Tick at which the instance is serving.
+     */
+    Tick boot(Tick when, const ServiceSpec &svc, MemoryPool &pool);
+
+    const SnapshotBootParams &params() const { return p_; }
+
+  private:
+    SnapshotBootParams p_;
+};
+
+} // namespace umany
+
+#endif // UMANY_WORKLOAD_SNAPSHOT_HH

@@ -1,0 +1,73 @@
+#include "workload/synthetic.hh"
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+const char *
+synthDistName(SynthDist d)
+{
+    switch (d) {
+      case SynthDist::Exponential:
+        return "Exp";
+      case SynthDist::Lognormal:
+        return "Lgn";
+      case SynthDist::Bimodal:
+        return "Bim";
+    }
+    return "?";
+}
+
+ServiceCatalog
+buildSynthetic(const SyntheticParams &p)
+{
+    if (p.minCalls == 0 || p.minCalls > p.maxCalls)
+        fatal("synthetic calls range [%u, %u] invalid", p.minCalls,
+              p.maxCalls);
+
+    ServiceCatalog cat;
+    ServiceSpec s;
+    s.name = std::string("Synth") + synthDistName(p.dist);
+    s.endpoint = true;
+    s.makeBehavior = [p](Rng &rng) {
+        double total_us;
+        switch (p.dist) {
+          case SynthDist::Exponential:
+            total_us = rng.expMean(p.meanUs);
+            break;
+          case SynthDist::Lognormal:
+            total_us = LognormalDist(p.meanUs, p.lognSigma).sample(rng);
+            break;
+          case SynthDist::Bimodal:
+          default:
+            total_us = rng.chance(p.bimodalShortProb)
+                           ? p.bimodalShortUs
+                           : p.bimodalLongUs;
+            break;
+        }
+        // Guard against degenerate zero-length segments.
+        total_us = std::max(total_us, 0.5);
+
+        const std::uint32_t calls =
+            p.minCalls + static_cast<std::uint32_t>(
+                rng.below(p.maxCalls - p.minCalls + 1));
+        const std::uint32_t segs = calls + 1;
+        const Tick per_seg = fromUs(total_us / segs);
+
+        Behavior b;
+        b.segments.assign(segs, per_seg);
+        for (std::uint32_t c = 0; c < calls; ++c) {
+            CallStep cs;
+            cs.kind = CallStep::Kind::Storage;
+            cs.requestBytes = 256;
+            cs.responseBytes = 512;
+            b.groups.push_back(CallGroup{cs});
+        }
+        return b;
+    };
+    cat.add(std::move(s));
+    return cat;
+}
+
+} // namespace umany

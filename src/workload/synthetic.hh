@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Synthetic microbenchmark services (§5, Fig 20): service-time
+ * distributions (exponential, lognormal, bimodal) with 2–6 blocking
+ * calls per request, in the style of the Shinjuku/Shenango
+ * evaluations the paper follows.
+ */
+
+#ifndef UMANY_WORKLOAD_SYNTHETIC_HH
+#define UMANY_WORKLOAD_SYNTHETIC_HH
+
+#include <string>
+
+#include "workload/service.hh"
+
+namespace umany
+{
+
+/** Service-time distribution families used in Fig 20. */
+enum class SynthDist : std::uint8_t
+{
+    Exponential,
+    Lognormal,
+    Bimodal,
+};
+
+/** Short name: "Exp", "Lgn", "Bim". */
+const char *synthDistName(SynthDist d);
+
+/** Parameters of a synthetic service. */
+struct SyntheticParams
+{
+    SynthDist dist = SynthDist::Exponential;
+    /** Mean total compute per request (reference microseconds).
+     *  Scaled to match the social-network calibration so machine
+     *  saturation points are comparable. */
+    double meanUs = 2000.0;
+    /** Lognormal sigma (heavier tail for larger values). */
+    double lognSigma = 1.0;
+    /** Bimodal: short value, long value, P(short). */
+    double bimodalShortUs = 500.0;
+    double bimodalLongUs = 12000.0;
+    double bimodalShortProb = 0.87;
+    /** Blocking storage calls per request: uniform [minCalls,maxCalls]. */
+    std::uint32_t minCalls = 2;
+    std::uint32_t maxCalls = 6;
+};
+
+/**
+ * Build a single-endpoint catalog ("Synth") whose behaviour follows
+ * @p p. The sampled total compute is split evenly across the
+ * segments delimited by the blocking calls.
+ */
+ServiceCatalog buildSynthetic(const SyntheticParams &p);
+
+} // namespace umany
+
+#endif // UMANY_WORKLOAD_SYNTHETIC_HH

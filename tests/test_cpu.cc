@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the CPU substrate: core params/presets, the performance
+ * model, context-switch models, and the core occupancy tracker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/context.hh"
+#include "cpu/core.hh"
+#include "cpu/core_params.hh"
+#include "cpu/perf_model.hh"
+#include "sched/request.hh"
+
+namespace umany
+{
+namespace
+{
+
+TEST(CoreParams, PresetsMatchTable2)
+{
+    const CoreParams m = manycoreCoreParams();
+    EXPECT_EQ(m.issueWidth, 4u);
+    EXPECT_EQ(m.robEntries, 64u);
+    EXPECT_EQ(m.lsqEntries, 64u);
+    EXPECT_DOUBLE_EQ(m.ghz, 2.0);
+
+    const CoreParams s = serverClassCoreParams();
+    EXPECT_EQ(s.issueWidth, 6u);
+    EXPECT_EQ(s.robEntries, 352u);
+    EXPECT_EQ(s.lsqEntries, 256u);
+    EXPECT_DOUBLE_EQ(s.ghz, 3.0);
+}
+
+TEST(PerfModel, ServerClassIsModestlyFasterOnMicroservices)
+{
+    const double f =
+        perfFactor(serverClassCoreParams(), manycoreCoreParams());
+    // Time multiplier < 1 (faster), but only modestly — §2.2/Fig 1.
+    EXPECT_LT(f, 1.0);
+    EXPECT_GT(f, 0.70);
+}
+
+TEST(PerfModel, SelfFactorIsOne)
+{
+    EXPECT_DOUBLE_EQ(
+        perfFactor(manycoreCoreParams(), manycoreCoreParams()), 1.0);
+}
+
+TEST(PerfModel, MonotoneInResources)
+{
+    CoreParams a = manycoreCoreParams();
+    CoreParams b = a;
+    b.issueWidth = 8;
+    EXPECT_GT(corePerformance(b), corePerformance(a));
+    CoreParams c = a;
+    c.ghz = 3.0;
+    EXPECT_GT(corePerformance(c), corePerformance(a));
+    CoreParams d = a;
+    d.robEntries = 256;
+    EXPECT_GT(corePerformance(d), corePerformance(a));
+}
+
+TEST(ContextSwitch, PresetCostsOrdered)
+{
+    const auto hw = contextSwitchModel(CsScheme::HardwareRq);
+    const auto shin = contextSwitchModel(CsScheme::Shinjuku);
+    const auto linux_cs = contextSwitchModel(CsScheme::Linux);
+    EXPECT_LT(hw.saveCycles, shin.saveCycles);
+    EXPECT_LT(shin.saveCycles, linux_cs.saveCycles);
+    // Paper: hardware target 128-256 cycles; Linux ~5K.
+    EXPECT_LE(hw.saveCycles, 256u);
+    EXPECT_GE(linux_cs.saveCycles, 2000u);
+}
+
+TEST(ContextSwitch, TimesScaleWithFrequency)
+{
+    const auto m = contextSwitchModel(CsScheme::Shinjuku);
+    EXPECT_GT(m.saveTime(2.0), m.saveTime(3.0));
+    EXPECT_EQ(m.saveTime(2.0), cyclesToTicks(
+                                   static_cast<double>(m.saveCycles),
+                                   2.0));
+}
+
+TEST(ContextSwitch, SchemeNames)
+{
+    EXPECT_STREQ(csSchemeName(CsScheme::HardwareRq), "hardware-rq");
+    EXPECT_STREQ(csSchemeName(CsScheme::Linux), "linux");
+}
+
+TEST(Core, TracksBusyTime)
+{
+    Core core(3, 1, 0);
+    ServiceRequest req(1, 0, Behavior{{100}, {}});
+    EXPECT_FALSE(core.busy());
+    core.beginWork(&req, 1000);
+    EXPECT_TRUE(core.busy());
+    EXPECT_EQ(core.current(), &req);
+    core.endWork(1500);
+    EXPECT_FALSE(core.busy());
+    EXPECT_EQ(core.busyTime(), 500u);
+    EXPECT_EQ(core.segmentsRun(), 1u);
+    EXPECT_DOUBLE_EQ(core.utilization(2000), 0.25);
+}
+
+TEST(Core, UtilizationIncludesInProgressWork)
+{
+    Core core(0, 0, 0);
+    ServiceRequest req(1, 0, Behavior{{100}, {}});
+    core.beginWork(&req, 0);
+    EXPECT_DOUBLE_EQ(core.utilization(100), 1.0);
+}
+
+TEST(Core, IdentityFields)
+{
+    Core core(7, 2, 1);
+    EXPECT_EQ(core.id(), 7u);
+    EXPECT_EQ(core.village(), 2u);
+    EXPECT_EQ(core.cluster(), 1u);
+}
+
+TEST(CoreDeathTest, DoubleBeginPanics)
+{
+    Core core(0, 0, 0);
+    ServiceRequest req(1, 0, Behavior{{100}, {}});
+    core.beginWork(&req, 0);
+    EXPECT_DEATH(core.beginWork(&req, 1), "busy");
+}
+
+TEST(CoreDeathTest, EndWhileIdlePanics)
+{
+    Core core(0, 0, 0);
+    EXPECT_DEATH(core.endWork(1), "idle");
+}
+
+TEST(Types, TickConversionsRoundTrip)
+{
+    EXPECT_EQ(fromUs(1.0), 1000000u);
+    EXPECT_EQ(fromMs(1.0), fromUs(1000.0));
+    EXPECT_DOUBLE_EQ(toUs(fromUs(123.0)), 123.0);
+    EXPECT_EQ(cyclesToTicks(2.0, 2.0), 1000u); // 2 cycles @ 2 GHz
+    EXPECT_DOUBLE_EQ(ticksToCycles(1000, 2.0), 2.0);
+}
+
+} // namespace
+} // namespace umany

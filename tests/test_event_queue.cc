@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+
+namespace umany
+{
+namespace
+{
+
+TEST(EventQueue, StartsAtZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.size(), 0u);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, DispatchesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&]() { order.push_back(3); });
+    eq.schedule(10, [&]() { order.push_back(1); });
+    eq.schedule(20, [&]() { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i]() { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&]() {
+        ++fired;
+        eq.scheduleAfter(4, [&]() { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 5u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&]() { ++fired; });
+    eq.schedule(20, [&]() { ++fired; });
+    eq.schedule(30, [&]() { ++fired; });
+    EXPECT_FALSE(eq.runUntil(20));
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.size(), 1u);
+    EXPECT_TRUE(eq.runUntil(100));
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunUntilInclusiveOfLimitTick)
+{
+    EventQueue eq;
+    bool fired = false;
+    eq.schedule(50, [&]() { fired = true; });
+    EXPECT_TRUE(eq.runUntil(50));
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, []() {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, []() {}), "past");
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue eq;
+    eq.schedule(10, []() {});
+    eq.schedule(20, []() {});
+    eq.step();
+    eq.reset();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.dispatched(), 0u);
+}
+
+TEST(EventQueue, CountsDispatchedEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(static_cast<Tick>(i), []() {});
+    eq.run();
+    EXPECT_EQ(eq.dispatched(), 5u);
+}
+
+} // namespace
+} // namespace umany

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit and property tests for the log-bucketed histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "stats/histogram.hh"
+
+namespace umany
+{
+namespace
+{
+
+TEST(Histogram, EmptyHistogram)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(Histogram, SingleValue)
+{
+    Histogram h;
+    h.add(42);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 42u);
+    EXPECT_EQ(h.max(), 42u);
+    EXPECT_EQ(h.quantile(0.0), 42u);
+    EXPECT_EQ(h.quantile(1.0), 42u);
+    EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+}
+
+TEST(Histogram, SmallValuesAreExact)
+{
+    Histogram h;
+    for (std::uint64_t v = 0; v < 64; ++v)
+        h.add(v);
+    // Values below the sub-bucket count are stored exactly.
+    EXPECT_EQ(h.quantile(0.0), 0u);
+    EXPECT_EQ(h.max(), 63u);
+    EXPECT_EQ(h.count(), 64u);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h;
+    h.add(10, 99);
+    h.add(1000, 1);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.p50(), 10u);
+    EXPECT_GE(h.quantile(0.995), 1000u * 98 / 100);
+}
+
+TEST(Histogram, QuantileRelativeErrorBounded)
+{
+    Rng rng(99);
+    Histogram h;
+    std::vector<std::uint64_t> vals;
+    for (int i = 0; i < 200000; ++i) {
+        const std::uint64_t v = rng.below(1ull << 34) + 1;
+        h.add(v);
+        vals.push_back(v);
+    }
+    std::sort(vals.begin(), vals.end());
+    for (const double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+        const std::uint64_t exact =
+            vals[static_cast<std::size_t>(q * (vals.size() - 1))];
+        const std::uint64_t approx = h.quantile(q);
+        const double rel =
+            std::abs(static_cast<double>(approx) -
+                     static_cast<double>(exact)) /
+            static_cast<double>(exact);
+        EXPECT_LT(rel, 0.03) << "q=" << q;
+    }
+}
+
+TEST(Histogram, MeanMatchesExact)
+{
+    Rng rng(5);
+    Histogram h;
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = rng.below(1000000);
+        h.add(v);
+        sum += static_cast<double>(v);
+    }
+    EXPECT_NEAR(h.mean(), sum / 10000.0, 1e-6);
+}
+
+TEST(Histogram, FractionAbove)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.add(v * 1000);
+    const double frac = h.fractionAbove(50000);
+    EXPECT_NEAR(frac, 0.5, 0.05);
+    EXPECT_EQ(h.fractionAbove(1ull << 40), 0.0);
+}
+
+TEST(Histogram, MergeCombines)
+{
+    Histogram a, b;
+    for (int i = 0; i < 100; ++i)
+        a.add(10);
+    for (int i = 0; i < 100; ++i)
+        b.add(1000000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 200u);
+    EXPECT_EQ(a.min(), 10u);
+    EXPECT_GE(a.max(), 1000000u * 99 / 100);
+    EXPECT_EQ(a.p50(), 10u);
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram h;
+    h.add(123);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, MonotoneQuantiles)
+{
+    Rng rng(17);
+    Histogram h;
+    for (int i = 0; i < 5000; ++i)
+        h.add(rng.below(1ull << 30));
+    std::uint64_t prev = 0;
+    for (double q = 0.0; q <= 1.0; q += 0.05) {
+        const std::uint64_t v = h.quantile(q);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+/** Property sweep: quantiles stay within [min, max] for many
+ *  distributions. */
+class HistogramPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(HistogramPropertyTest, QuantilesWithinRange)
+{
+    Rng rng(GetParam());
+    Histogram h;
+    const std::uint64_t span = 1ull << (10 + GetParam() % 30);
+    for (int i = 0; i < 2000; ++i)
+        h.add(rng.below(span));
+    for (const double q : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+        EXPECT_GE(h.quantile(q), h.min());
+        EXPECT_LE(h.quantile(q), h.max());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34,
+                                           55, 89));
+
+} // namespace
+} // namespace umany

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for DRAM timing, the memory pool, the coherence model, and
+ * the footprint generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/coherence.hh"
+#include "mem/dram.hh"
+#include "mem/footprint.hh"
+#include "mem/memory_pool.hh"
+
+namespace umany
+{
+namespace
+{
+
+TEST(Dram, RowHitFasterThanConflict)
+{
+    Dram dram{DramParams{}};
+    // First access opens the row (conflict path).
+    const Tick t1 = dram.access(0, 0);
+    // Same channel, same bank, same row, later: hit. (Addresses
+    // interleave across channels at 64 B granularity, so +256 stays
+    // on channel 0.)
+    const Tick start2 = t1 + fromUs(1.0);
+    const Tick t2 = dram.access(start2, 256);
+    // Different row, same bank: conflict.
+    const Tick start3 = t2 + fromUs(1.0);
+    const Tick t3 =
+        dram.access(start3, 8192ull * 8 /* same bank, new row */);
+    EXPECT_LT(t2 - start2, t3 - start3);
+    EXPECT_GT(dram.rowHitRate(), 0.0);
+}
+
+TEST(Dram, BankSerializesBackToBack)
+{
+    Dram dram{DramParams{}};
+    const Tick a = dram.access(0, 0);
+    const Tick b = dram.access(0, 0); // same bank immediately
+    EXPECT_GT(b, a);
+}
+
+TEST(Dram, ChannelsWorkInParallel)
+{
+    DramParams p;
+    Dram dram(p);
+    // Same-channel back-to-back vs different channels.
+    const Tick same1 = dram.access(0, 0);
+    (void)same1;
+    Dram dram2(p);
+    const Tick ch0 = dram2.access(0, 0);
+    const Tick ch1 = dram2.access(0, 64); // next channel interleave
+    EXPECT_LE(ch1, ch0 + dram2.idealLatency());
+}
+
+TEST(Dram, IdealLatencyIsLowerBound)
+{
+    Dram dram{DramParams{}};
+    const Tick done = dram.access(0, 4096);
+    EXPECT_GE(done, dram.idealLatency());
+    EXPECT_EQ(dram.requests(), 1u);
+}
+
+TEST(MemoryPool, SnapshotLifecycle)
+{
+    MemoryPoolParams p;
+    p.capacityBytes = 64 << 20;
+    MemoryPool pool(p);
+    EXPECT_TRUE(pool.storeSnapshot(1, 16 << 20));
+    EXPECT_TRUE(pool.hasSnapshot(1));
+    EXPECT_EQ(pool.snapshotBytes(1), 16u << 20);
+    EXPECT_TRUE(pool.storeSnapshot(2, 32 << 20));
+    // 48 MB used; a 32 MB snapshot no longer fits.
+    EXPECT_FALSE(pool.storeSnapshot(3, 32 << 20));
+    pool.dropSnapshot(1);
+    EXPECT_TRUE(pool.storeSnapshot(3, 32 << 20));
+    EXPECT_EQ(pool.usedBytes(), 64u << 20);
+}
+
+TEST(MemoryPool, DuplicateStoreIsIdempotent)
+{
+    MemoryPool pool{MemoryPoolParams{}};
+    EXPECT_TRUE(pool.storeSnapshot(7, 1 << 20));
+    const std::uint64_t used = pool.usedBytes();
+    EXPECT_TRUE(pool.storeSnapshot(7, 1 << 20));
+    EXPECT_EQ(pool.usedBytes(), used);
+}
+
+TEST(MemoryPool, TransfersSerializeOnEngine)
+{
+    MemoryPool pool{MemoryPoolParams{}};
+    const Tick a = pool.lmemTransfer(0, 1 << 20);
+    const Tick b = pool.lmemTransfer(0, 1 << 20);
+    EXPECT_GT(b, a);
+    // R-MEM is an independent engine: it does not queue behind the
+    // two L-MEM transfers above.
+    const Tick c = pool.rmemTransfer(0, 1 << 20);
+    MemoryPool fresh{MemoryPoolParams{}};
+    EXPECT_EQ(c, fresh.rmemTransfer(0, 1 << 20));
+    EXPECT_EQ(pool.transfers(), 3u);
+}
+
+TEST(MemoryPool, BandwidthScalesTransferTime)
+{
+    MemoryPoolParams p;
+    MemoryPool pool(p);
+    const Tick small = pool.lmemTransfer(0, 1 << 10);
+    MemoryPool pool2(p);
+    const Tick big = pool2.lmemTransfer(0, 1 << 24);
+    EXPECT_GT(big, small);
+}
+
+TEST(Coherence, VillageScopeRestrictsMigration)
+{
+    CoherenceParams p;
+    p.scope = CoherenceScope::Village;
+    CoherenceModel m(p);
+    EXPECT_TRUE(m.migrationAllowed(3, 3));
+    EXPECT_FALSE(m.migrationAllowed(3, 4));
+    EXPECT_EQ(m.directoryOverhead(), 0u);
+}
+
+TEST(Coherence, GlobalScopeAllowsMigrationAtACost)
+{
+    CoherenceParams p;
+    p.scope = CoherenceScope::Global;
+    CoherenceModel m(p);
+    EXPECT_TRUE(m.migrationAllowed(3, 4));
+    EXPECT_GT(m.directoryOverhead(), 0u);
+    EXPECT_GT(m.migrationBytes(false), 0u);
+    EXPECT_EQ(m.migrationBytes(true), 0u);
+}
+
+TEST(Footprint, HandlerSharingInPaperBand)
+{
+    FootprintGenerator gen(FootprintProfile{}, 42);
+    const Footprint a = gen.makeHandler();
+    const Footprint b = gen.makeHandler();
+    const double d_line =
+        FootprintGenerator::commonFraction(a.dataLines, b.dataLines);
+    const double i_line = FootprintGenerator::commonFraction(
+        a.instrLines, b.instrLines);
+    // Fig 8: 78-99% common.
+    EXPECT_GT(d_line, 0.70);
+    EXPECT_LT(d_line, 1.0);
+    EXPECT_GT(i_line, 0.85);
+}
+
+TEST(Footprint, InitCoversHandlers)
+{
+    FootprintGenerator gen(FootprintProfile{}, 43);
+    const Footprint init = gen.initFootprint();
+    const Footprint h = gen.makeHandler();
+    const double frac = FootprintGenerator::commonFraction(
+        h.instrPages(), init.instrPages());
+    EXPECT_GT(frac, 0.9);
+}
+
+TEST(Footprint, SizeNearHalfMegabyte)
+{
+    FootprintGenerator gen(FootprintProfile{}, 44);
+    const std::uint64_t bytes = gen.makeHandler().bytes();
+    EXPECT_GT(bytes, 300u << 10);
+    EXPECT_LT(bytes, 700u << 10);
+}
+
+TEST(Footprint, CommonFractionEdgeCases)
+{
+    std::vector<std::uint64_t> a{1, 2, 3};
+    std::vector<std::uint64_t> empty;
+    EXPECT_EQ(FootprintGenerator::commonFraction(a, a), 1.0);
+    EXPECT_EQ(FootprintGenerator::commonFraction(a, empty), 0.0);
+    EXPECT_EQ(FootprintGenerator::commonFraction(empty, a), 0.0);
+}
+
+TEST(Footprint, PagesDeriveFromLines)
+{
+    Footprint fp;
+    fp.dataLines = {0, 1, 63, 64, 128};
+    // Lines 0,1,63 -> page 0; 64-127 -> page 1; 128 -> page 2.
+    EXPECT_EQ(fp.dataPages().size(), 3u);
+}
+
+} // namespace
+} // namespace umany

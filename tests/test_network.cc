@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the message-level network engine: delivery, latency
+ * accounting, contention behaviour, and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/leaf_spine.hh"
+#include "noc/mesh.hh"
+#include "noc/network.hh"
+
+namespace umany
+{
+namespace
+{
+
+struct NetworkFixture : public ::testing::Test
+{
+    EventQueue eq;
+    LeafSpine topo{LeafSpineParams{}};
+    Network net{"net", eq, topo, 1};
+};
+
+TEST_F(NetworkFixture, DeliversMessage)
+{
+    bool delivered = false;
+    Message m;
+    m.src = 0;
+    m.dst = 31 * 5;
+    m.bytes = 256;
+    net.send(m, [&]() { delivered = true; });
+    eq.run();
+    EXPECT_TRUE(delivered);
+    EXPECT_EQ(net.messagesDelivered(), 1u);
+    EXPECT_EQ(net.messagesSent(), 1u);
+}
+
+TEST_F(NetworkFixture, SameEndpointIsImmediate)
+{
+    bool delivered = false;
+    Message m;
+    m.src = 3;
+    m.dst = 3;
+    net.send(m, [&]() { delivered = true; });
+    eq.run();
+    EXPECT_TRUE(delivered);
+    EXPECT_EQ(eq.now(), 0u);
+}
+
+TEST_F(NetworkFixture, UncontendedLatencyMatchesOracle)
+{
+    net.setContention(false);
+    Message m;
+    m.src = 0;
+    m.dst = 31 * 5;
+    m.bytes = 512;
+    Tick arrival = 0;
+    net.send(m, [&]() { arrival = eq.now(); });
+    eq.run();
+    EXPECT_EQ(arrival, net.idealLatency(0, 31 * 5, 512));
+}
+
+TEST_F(NetworkFixture, ContentionOnlyAddsDelay)
+{
+    // Fire a burst of same-destination messages; with contention
+    // they serialize; without, they all see the ideal latency.
+    const Tick ideal = net.idealLatency(0, 6, 4096);
+    Tick last_on = 0;
+    for (int i = 0; i < 50; ++i) {
+        Message m;
+        m.src = 0;
+        m.dst = 6;
+        m.bytes = 4096;
+        net.send(m, [&]() { last_on = std::max(last_on, eq.now()); });
+    }
+    eq.run();
+    EXPECT_GT(last_on, ideal);
+    EXPECT_GT(net.queueDelayHist().max(), 0u);
+
+    // Same burst without contention: everyone arrives at ideal.
+    EventQueue eq2;
+    Network net2("net2", eq2, topo, 1);
+    net2.setContention(false);
+    Tick last_off = 0;
+    for (int i = 0; i < 50; ++i) {
+        Message m;
+        m.src = 0;
+        m.dst = 6;
+        m.bytes = 4096;
+        net2.send(m,
+                  [&]() { last_off = std::max(last_off, eq2.now()); });
+    }
+    eq2.run();
+    EXPECT_EQ(last_off, ideal);
+}
+
+TEST_F(NetworkFixture, LinkStatsAccumulate)
+{
+    Message m;
+    m.src = 0;
+    m.dst = 31 * 5;
+    m.bytes = 1024;
+    net.send(m, []() {});
+    eq.run();
+    std::uint64_t total_msgs = 0;
+    std::uint64_t total_bytes = 0;
+    for (const LinkState &st : net.linkStates()) {
+        total_msgs += st.messages;
+        total_bytes += st.bytes;
+    }
+    // 4 NH hops + 2 access links.
+    EXPECT_EQ(total_msgs, 6u);
+    EXPECT_EQ(total_bytes, 6u * 1024);
+}
+
+TEST_F(NetworkFixture, UtilizationIsBounded)
+{
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i) {
+        Message m;
+        m.src = static_cast<EndpointId>(rng.below(160));
+        m.dst = static_cast<EndpointId>(rng.below(160));
+        m.bytes = 2048;
+        net.send(m, []() {});
+    }
+    eq.run();
+    EXPECT_GE(net.meanLinkUtilization(), 0.0);
+    EXPECT_LE(net.meanLinkUtilization(), 1.0);
+    EXPECT_LE(net.maxLinkUtilization(), 1.0);
+    EXPECT_GE(net.maxLinkUtilization(), net.meanLinkUtilization());
+}
+
+TEST_F(NetworkFixture, ClearStatsResets)
+{
+    Message m;
+    m.src = 0;
+    m.dst = 9;
+    net.send(m, []() {});
+    eq.run();
+    net.clearStats();
+    EXPECT_EQ(net.messagesDelivered(), 0u);
+    EXPECT_EQ(net.latencyHist().count(), 0u);
+    for (const LinkState &st : net.linkStates())
+        EXPECT_EQ(st.messages, 0u);
+}
+
+TEST(NetworkMesh, CornerNicConcentratesTraffic)
+{
+    // External traffic through a mesh funnels into node 0's links —
+    // the concentration effect behind Fig 7's mesh numbers.
+    EventQueue eq;
+    MeshParams mp;
+    mp.width = 6;
+    mp.height = 6;
+    mp.endpointsPerNode = 5;
+    Mesh2D topo(mp);
+    Network net("mesh", eq, topo, 2);
+    Rng rng(3);
+    for (int i = 0; i < 300; ++i) {
+        Message m;
+        m.src = topo.externalEndpoint();
+        m.dst = static_cast<EndpointId>(rng.below(180));
+        m.bytes = 2048;
+        net.send(m, []() {});
+    }
+    eq.run();
+    EXPECT_GT(net.maxLinkUtilization(),
+              4.0 * net.meanLinkUtilization());
+}
+
+} // namespace
+} // namespace umany

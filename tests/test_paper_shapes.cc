@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Paper-shape regression tests: small, fast versions of the key
+ * evaluation claims, so refactoring cannot silently invert a
+ * headline result. These use reduced clusters and windows; the full
+ * figures come from bench/.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/presets.hh"
+#include "driver/experiment.hh"
+#include "workload/app_graph.hh"
+
+namespace umany
+{
+namespace
+{
+
+RunMetrics
+runSmall(const MachineParams &mp, double rps,
+         ArrivalKind arrivals = ArrivalKind::Bursty,
+         std::uint64_t seed = 0x5eed)
+{
+    static const ServiceCatalog catalog = buildSocialNetwork();
+    ExperimentConfig cfg;
+    cfg.machine = mp;
+    cfg.cluster.numServers = 2;
+    cfg.rpsPerServer = rps;
+    cfg.arrivals = arrivals;
+    cfg.warmup = fromMs(20.0);
+    cfg.measure = fromMs(400.0);
+    cfg.drainLimit = fromMs(800.0);
+    cfg.seed = seed;
+    return runExperiment(catalog, cfg);
+}
+
+TEST(PaperShape, UManycoreWinsTailAtHighLoad)
+{
+    // Fig 14c's essence on a reduced cluster: past the baseline
+    // saturation point (18K RPS for the 2-server config) μManycore
+    // keeps a far lower tail than both baselines.
+    const RunMetrics um = runSmall(uManycoreParams(), 18000.0);
+    const RunMetrics sc = runSmall(serverClassParams(), 18000.0);
+    const RunMetrics so = runSmall(scaleOutParams(), 18000.0);
+    EXPECT_LT(um.overall.p99Ms * 2.5, sc.overall.p99Ms);
+    EXPECT_LT(um.overall.p99Ms * 1.2, so.overall.p99Ms);
+    // And ScaleOut stays below ServerClass (paper ordering).
+    EXPECT_LT(so.overall.p99Ms, sc.overall.p99Ms);
+}
+
+TEST(PaperShape, ServerClassDegradesWithLoad)
+{
+    // Figs 14/16: ServerClass latency grows sharply with load while
+    // utilization climbs.
+    const RunMetrics lo = runSmall(serverClassParams(), 5000.0);
+    const RunMetrics hi = runSmall(serverClassParams(), 18000.0);
+    EXPECT_GT(hi.overall.p99Ms, 2.0 * lo.overall.p99Ms);
+    EXPECT_GT(hi.avgCoreUtilization, lo.avgCoreUtilization * 2.0);
+}
+
+TEST(PaperShape, UManycoreIsFlatAcrossTheseLoads)
+{
+    const RunMetrics lo = runSmall(uManycoreParams(), 5000.0);
+    const RunMetrics hi = runSmall(uManycoreParams(), 15000.0);
+    EXPECT_LT(hi.overall.p99Ms, 1.5 * lo.overall.p99Ms);
+}
+
+TEST(PaperShape, AblationLadderNeverRegresses)
+{
+    // Fig 15: each cumulative technique must not make the tail
+    // meaningfully worse.
+    const double so =
+        runSmall(scaleOutParams(), 15000.0).overall.p99Ms;
+    const double hw_sched =
+        runSmall(ablationHwSched(), 15000.0).overall.p99Ms;
+    const double um =
+        runSmall(ablationHwCs(), 15000.0).overall.p99Ms;
+    EXPECT_LT(hw_sched, so);
+    EXPECT_LE(um, hw_sched * 1.1);
+}
+
+TEST(PaperShape, HardwareCsBeatsLinuxCs)
+{
+    // Fig 6's essence: Linux-cost context switching on the software
+    // stack destroys the tail at load where hardware-cost CS is
+    // fine.
+    MachineParams linux_mp = scaleOutParams();
+    linux_mp.cs = contextSwitchModel(CsScheme::Linux);
+    MachineParams hw_mp = scaleOutParams();
+    hw_mp.cs = contextSwitchModel(CsScheme::HardwareRq);
+    // Disable ICN contention to isolate CS (as bench/fig06 does).
+    linux_mp.icnContention = false;
+    hw_mp.icnContention = false;
+    const double linux_tail =
+        runSmall(linux_mp, 20000.0).overall.p99Ms;
+    const double hw_tail = runSmall(hw_mp, 20000.0).overall.p99Ms;
+    EXPECT_GT(linux_tail, 1.5 * hw_tail);
+}
+
+TEST(PaperShape, IsoAreaServerClassStillLoses)
+{
+    // §6.8: even the 128-core ServerClass keeps a big tail gap at
+    // high load.
+    const RunMetrics sc128 =
+        runSmall(serverClassParams(128), 15000.0);
+    const RunMetrics um = runSmall(uManycoreParams(), 15000.0);
+    EXPECT_LT(um.overall.p99Ms, sc128.overall.p99Ms);
+}
+
+TEST(PaperShape, RejectionAppearsOnlyUnderExtremePressure)
+{
+    // The RQ/NIC admission path rejects when a village is swamped.
+    MachineParams mp = uManycoreParams();
+    mp.rq.entries = 4;
+    mp.rq.nicBufferEntries = 4;
+    const RunMetrics m = runSmall(mp, 60000.0);
+    EXPECT_GT(m.rejected, 0u);
+    // Default sizing at nominal load: no rejections.
+    const RunMetrics ok = runSmall(uManycoreParams(), 15000.0);
+    EXPECT_EQ(ok.rejected, 0u);
+}
+
+} // namespace
+} // namespace umany

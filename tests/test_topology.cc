@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Unit and property tests for the three ICN topologies: structure,
+ * hop counts (the paper's 4-hop leaf-spine and 10-hop fat-tree
+ * claims), route validity, and ECMP path diversity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "noc/fat_tree.hh"
+#include "noc/leaf_spine.hh"
+#include "noc/mesh.hh"
+
+namespace umany
+{
+namespace
+{
+
+/** Route-validity property: consecutive links must be connected. */
+void
+expectValidPath(const Topology &topo, EndpointId a, EndpointId b)
+{
+    Rng rng(1234);
+    std::vector<LinkId> path;
+    topo.route(a, b, rng, path);
+    if (a == b) {
+        EXPECT_TRUE(path.empty());
+        return;
+    }
+    ASSERT_FALSE(path.empty());
+    for (std::size_t i = 1; i < path.size(); ++i) {
+        EXPECT_EQ(topo.links()[path[i - 1]].to,
+                  topo.links()[path[i]].from)
+            << "disconnected hop in route " << a << "->" << b;
+    }
+}
+
+// ---------- Leaf-spine ----------
+
+TEST(LeafSpine, DefaultShapeMatchesPaper)
+{
+    LeafSpine topo{LeafSpineParams{}};
+    // 32 leaves x 5 endpoints + top-level NIC.
+    EXPECT_EQ(topo.endpointCount(), 32u * 5 + 1);
+    EXPECT_EQ(topo.externalEndpoint(), 160u);
+}
+
+TEST(LeafSpine, MaxFourNhHops)
+{
+    LeafSpine topo{LeafSpineParams{}};
+    // The longest communication path is 4 NH-to-NH hops (§5).
+    EXPECT_LE(topo.diameter(), 4u);
+}
+
+TEST(LeafSpine, SamePodIsTwoHops)
+{
+    LeafSpine topo{LeafSpineParams{}};
+    // Endpoints 0 (leaf 0) and 6 (leaf 1) are both in pod 0.
+    EXPECT_EQ(topo.hopCount(0, 6), 2u);
+}
+
+TEST(LeafSpine, CrossPodIsFourHops)
+{
+    LeafSpine topo{LeafSpineParams{}};
+    // Leaf 0 (pod 0) to leaf 31 (pod 3).
+    EXPECT_EQ(topo.hopCount(0, 31 * 5), 4u);
+}
+
+TEST(LeafSpine, SameLeafUsesOnlyAccessLinks)
+{
+    LeafSpine topo{LeafSpineParams{}};
+    EXPECT_EQ(topo.hopCount(0, 1), 0u); // NH hops exclude access.
+}
+
+TEST(LeafSpine, EcmpUsesMultiplePaths)
+{
+    LeafSpine topo{LeafSpineParams{}};
+    Rng rng(7);
+    std::set<std::vector<LinkId>> seen;
+    std::vector<LinkId> path;
+    for (int i = 0; i < 200; ++i) {
+        topo.route(0, 31 * 5, rng, path);
+        seen.insert(path);
+    }
+    // spinesPerPod * l3 * spinesPerPod = 128 distinct paths exist;
+    // 200 draws should find many.
+    EXPECT_GT(seen.size(), 20u);
+    EXPECT_EQ(topo.pathDiversity(0, 31), 128u);
+    EXPECT_EQ(topo.pathDiversity(0, 1), 4u);
+}
+
+TEST(LeafSpine, ExternalRoutesTouchEveryLeafDirectly)
+{
+    LeafSpine topo{LeafSpineParams{}};
+    // NIC -> any endpoint: 1 NH link (nic->leaf) + access link.
+    for (EndpointId ep = 0; ep < 160; ep += 13)
+        EXPECT_EQ(topo.hopCount(topo.externalEndpoint(), ep), 1u);
+}
+
+TEST(LeafSpine, RoutesAreValidPaths)
+{
+    LeafSpine topo{LeafSpineParams{}};
+    for (EndpointId a = 0; a < topo.endpointCount();
+         a += 17) {
+        for (EndpointId b = 0; b < topo.endpointCount(); b += 23)
+            expectValidPath(topo, a, b);
+    }
+}
+
+// ---------- Fat tree ----------
+
+TEST(FatTree, SwitchCountMatchesPaper)
+{
+    FatTree topo{FatTreeParams{}};
+    // 32 leaves -> 63 NHs total (§5).
+    EXPECT_EQ(topo.numSwitches(), 63u);
+}
+
+TEST(FatTree, LongestPathTenHops)
+{
+    FatTree topo{FatTreeParams{}};
+    EXPECT_EQ(topo.diameter(), 10u);
+}
+
+TEST(FatTree, SiblingLeavesAreTwoHops)
+{
+    FatTree topo{FatTreeParams{}};
+    // Leaves 0 and 1 share a parent.
+    EXPECT_EQ(topo.hopCount(0, 5), 2u);
+}
+
+TEST(FatTree, RoutesAreValidPaths)
+{
+    FatTree topo{FatTreeParams{}};
+    for (EndpointId a = 0; a < topo.endpointCount(); a += 19) {
+        for (EndpointId b = 0; b < topo.endpointCount(); b += 29)
+            expectValidPath(topo, a, b);
+    }
+}
+
+TEST(FatTree, UpperLinksAreFatter)
+{
+    FatTree topo{FatTreeParams{}};
+    double leaf_bw = 0.0;
+    double max_bw = 0.0;
+    for (const LinkSpec &l : topo.links()) {
+        if (l.access)
+            continue;
+        if (leaf_bw == 0.0)
+            leaf_bw = l.bytesPerTick;
+        max_bw = std::max(max_bw, l.bytesPerTick);
+    }
+    EXPECT_GT(max_bw, leaf_bw * 8);
+}
+
+TEST(FatTreeDeathTest, RequiresPowerOfTwoLeaves)
+{
+    FatTreeParams p;
+    p.numLeaves = 12;
+    EXPECT_DEATH({ FatTree t(p); }, "power-of-two");
+}
+
+// ---------- Mesh ----------
+
+TEST(Mesh, HopCountIsManhattanDistance)
+{
+    MeshParams p;
+    p.width = 8;
+    p.height = 5;
+    Mesh2D topo(p);
+    // endpointsPerNode == 1: endpoint i == node i.
+    EXPECT_EQ(topo.hopCount(0, 7), 7u);   // same row
+    EXPECT_EQ(topo.hopCount(0, 32), 4u);  // same column
+    EXPECT_EQ(topo.hopCount(0, 39), 11u); // opposite corner
+}
+
+TEST(Mesh, RoutesAreValidPaths)
+{
+    MeshParams p;
+    p.width = 6;
+    p.height = 6;
+    p.endpointsPerNode = 5;
+    Mesh2D topo(p);
+    for (EndpointId a = 0; a < topo.endpointCount(); a += 13) {
+        for (EndpointId b = 0; b < topo.endpointCount(); b += 31)
+            expectValidPath(topo, a, b);
+    }
+}
+
+TEST(Mesh, ExternalEndpointAttachesAtCorner)
+{
+    MeshParams p;
+    Mesh2D topo(p);
+    EXPECT_EQ(topo.externalEndpoint(),
+              p.width * p.height * p.endpointsPerNode);
+    // From NIC to far corner: full Manhattan distance.
+    EXPECT_EQ(topo.hopCount(topo.externalEndpoint(),
+                            p.width * p.height - 1),
+              p.width - 1 + p.height - 1);
+}
+
+// ---------- Shared properties ----------
+
+struct TopoCase
+{
+    const char *name;
+    std::function<std::unique_ptr<Topology>()> make;
+};
+
+class TopologyPropertyTest
+    : public ::testing::TestWithParam<int>
+{
+  public:
+    static std::unique_ptr<Topology>
+    make(int idx)
+    {
+        switch (idx) {
+          case 0:
+            return std::make_unique<LeafSpine>(LeafSpineParams{});
+          case 1:
+            return std::make_unique<FatTree>(FatTreeParams{});
+          default: {
+            MeshParams p;
+            p.width = 6;
+            p.height = 6;
+            p.endpointsPerNode = 5;
+            return std::make_unique<Mesh2D>(p);
+          }
+        }
+    }
+};
+
+TEST_P(TopologyPropertyTest, RandomPairRoutesConnect)
+{
+    auto topo = make(GetParam());
+    Rng rng(42);
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(topo->endpointCount());
+    for (int i = 0; i < 500; ++i) {
+        const EndpointId a = static_cast<EndpointId>(rng.below(n));
+        const EndpointId b = static_cast<EndpointId>(rng.below(n));
+        expectValidPath(*topo, a, b);
+    }
+}
+
+TEST_P(TopologyPropertyTest, ContentionFreeLatencyPositive)
+{
+    auto topo = make(GetParam());
+    Rng rng(43);
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(topo->endpointCount());
+    for (int i = 0; i < 200; ++i) {
+        const EndpointId a = static_cast<EndpointId>(rng.below(n));
+        EndpointId b = static_cast<EndpointId>(rng.below(n));
+        if (a == b)
+            continue;
+        EXPECT_GT(topo->contentionFreeLatency(a, b, 64), 0u);
+        // Bigger payloads take at least as long.
+        EXPECT_GE(topo->contentionFreeLatency(a, b, 4096),
+                  topo->contentionFreeLatency(a, b, 64));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, TopologyPropertyTest,
+                         ::testing::Values(0, 1, 2));
+
+} // namespace
+} // namespace umany
