@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_uarch_opts.dir/fig01_uarch_opts.cc.o"
+  "CMakeFiles/fig01_uarch_opts.dir/fig01_uarch_opts.cc.o.d"
+  "fig01_uarch_opts"
+  "fig01_uarch_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_uarch_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

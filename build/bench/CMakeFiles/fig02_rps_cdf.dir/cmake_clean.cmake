@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_rps_cdf.dir/fig02_rps_cdf.cc.o"
+  "CMakeFiles/fig02_rps_cdf.dir/fig02_rps_cdf.cc.o.d"
+  "fig02_rps_cdf"
+  "fig02_rps_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_rps_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_queue_sweep.dir/fig03_queue_sweep.cc.o"
+  "CMakeFiles/fig03_queue_sweep.dir/fig03_queue_sweep.cc.o.d"
+  "fig03_queue_sweep"
+  "fig03_queue_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_queue_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

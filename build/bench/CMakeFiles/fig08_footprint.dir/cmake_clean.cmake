@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_footprint.dir/fig08_footprint.cc.o"
+  "CMakeFiles/fig08_footprint.dir/fig08_footprint.cc.o.d"
+  "fig08_footprint"
+  "fig08_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_16_17_latency.dir/fig14_16_17_latency.cc.o"
+  "CMakeFiles/fig14_16_17_latency.dir/fig14_16_17_latency.cc.o.d"
+  "fig14_16_17_latency"
+  "fig14_16_17_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_16_17_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_throughput.dir/fig18_throughput.cc.o"
+  "CMakeFiles/fig18_throughput.dir/fig18_throughput.cc.o.d"
+  "fig18_throughput"
+  "fig18_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

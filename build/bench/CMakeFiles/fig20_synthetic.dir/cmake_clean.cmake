@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_synthetic.dir/fig20_synthetic.cc.o"
+  "CMakeFiles/fig20_synthetic.dir/fig20_synthetic.cc.o.d"
+  "fig20_synthetic"
+  "fig20_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec68_iso_area.dir/sec68_iso_area.cc.o"
+  "CMakeFiles/sec68_iso_area.dir/sec68_iso_area.cc.o.d"
+  "sec68_iso_area"
+  "sec68_iso_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec68_iso_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

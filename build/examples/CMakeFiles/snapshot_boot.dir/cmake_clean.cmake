@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_boot.dir/snapshot_boot.cpp.o"
+  "CMakeFiles/snapshot_boot.dir/snapshot_boot.cpp.o.d"
+  "snapshot_boot"
+  "snapshot_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_loadgen.dir/synthetic_loadgen.cpp.o"
+  "CMakeFiles/synthetic_loadgen.dir/synthetic_loadgen.cpp.o.d"
+  "synthetic_loadgen"
+  "synthetic_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,84 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cluster_sim.cc" "src/CMakeFiles/umany.dir/arch/cluster_sim.cc.o" "gcc" "src/CMakeFiles/umany.dir/arch/cluster_sim.cc.o.d"
+  "/root/repo/src/arch/machine.cc" "src/CMakeFiles/umany.dir/arch/machine.cc.o" "gcc" "src/CMakeFiles/umany.dir/arch/machine.cc.o.d"
+  "/root/repo/src/arch/presets.cc" "src/CMakeFiles/umany.dir/arch/presets.cc.o" "gcc" "src/CMakeFiles/umany.dir/arch/presets.cc.o.d"
+  "/root/repo/src/arch/server.cc" "src/CMakeFiles/umany.dir/arch/server.cc.o" "gcc" "src/CMakeFiles/umany.dir/arch/server.cc.o.d"
+  "/root/repo/src/arch/village.cc" "src/CMakeFiles/umany.dir/arch/village.cc.o" "gcc" "src/CMakeFiles/umany.dir/arch/village.cc.o.d"
+  "/root/repo/src/cpu/context.cc" "src/CMakeFiles/umany.dir/cpu/context.cc.o" "gcc" "src/CMakeFiles/umany.dir/cpu/context.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/umany.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/umany.dir/cpu/core.cc.o.d"
+  "/root/repo/src/cpu/core_params.cc" "src/CMakeFiles/umany.dir/cpu/core_params.cc.o" "gcc" "src/CMakeFiles/umany.dir/cpu/core_params.cc.o.d"
+  "/root/repo/src/cpu/perf_model.cc" "src/CMakeFiles/umany.dir/cpu/perf_model.cc.o" "gcc" "src/CMakeFiles/umany.dir/cpu/perf_model.cc.o.d"
+  "/root/repo/src/driver/experiment.cc" "src/CMakeFiles/umany.dir/driver/experiment.cc.o" "gcc" "src/CMakeFiles/umany.dir/driver/experiment.cc.o.d"
+  "/root/repo/src/driver/metrics.cc" "src/CMakeFiles/umany.dir/driver/metrics.cc.o" "gcc" "src/CMakeFiles/umany.dir/driver/metrics.cc.o.d"
+  "/root/repo/src/driver/qos.cc" "src/CMakeFiles/umany.dir/driver/qos.cc.o" "gcc" "src/CMakeFiles/umany.dir/driver/qos.cc.o.d"
+  "/root/repo/src/driver/report.cc" "src/CMakeFiles/umany.dir/driver/report.cc.o" "gcc" "src/CMakeFiles/umany.dir/driver/report.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/umany.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/umany.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/coherence.cc" "src/CMakeFiles/umany.dir/mem/coherence.cc.o" "gcc" "src/CMakeFiles/umany.dir/mem/coherence.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/umany.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/umany.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/footprint.cc" "src/CMakeFiles/umany.dir/mem/footprint.cc.o" "gcc" "src/CMakeFiles/umany.dir/mem/footprint.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/umany.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/umany.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/mem/memory_pool.cc" "src/CMakeFiles/umany.dir/mem/memory_pool.cc.o" "gcc" "src/CMakeFiles/umany.dir/mem/memory_pool.cc.o.d"
+  "/root/repo/src/mem/replacement.cc" "src/CMakeFiles/umany.dir/mem/replacement.cc.o" "gcc" "src/CMakeFiles/umany.dir/mem/replacement.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/CMakeFiles/umany.dir/mem/tlb.cc.o" "gcc" "src/CMakeFiles/umany.dir/mem/tlb.cc.o.d"
+  "/root/repo/src/noc/fat_tree.cc" "src/CMakeFiles/umany.dir/noc/fat_tree.cc.o" "gcc" "src/CMakeFiles/umany.dir/noc/fat_tree.cc.o.d"
+  "/root/repo/src/noc/leaf_spine.cc" "src/CMakeFiles/umany.dir/noc/leaf_spine.cc.o" "gcc" "src/CMakeFiles/umany.dir/noc/leaf_spine.cc.o.d"
+  "/root/repo/src/noc/link.cc" "src/CMakeFiles/umany.dir/noc/link.cc.o" "gcc" "src/CMakeFiles/umany.dir/noc/link.cc.o.d"
+  "/root/repo/src/noc/mesh.cc" "src/CMakeFiles/umany.dir/noc/mesh.cc.o" "gcc" "src/CMakeFiles/umany.dir/noc/mesh.cc.o.d"
+  "/root/repo/src/noc/network.cc" "src/CMakeFiles/umany.dir/noc/network.cc.o" "gcc" "src/CMakeFiles/umany.dir/noc/network.cc.o.d"
+  "/root/repo/src/noc/topology.cc" "src/CMakeFiles/umany.dir/noc/topology.cc.o" "gcc" "src/CMakeFiles/umany.dir/noc/topology.cc.o.d"
+  "/root/repo/src/power/budget.cc" "src/CMakeFiles/umany.dir/power/budget.cc.o" "gcc" "src/CMakeFiles/umany.dir/power/budget.cc.o.d"
+  "/root/repo/src/power/cacti_lite.cc" "src/CMakeFiles/umany.dir/power/cacti_lite.cc.o" "gcc" "src/CMakeFiles/umany.dir/power/cacti_lite.cc.o.d"
+  "/root/repo/src/power/mcpat_lite.cc" "src/CMakeFiles/umany.dir/power/mcpat_lite.cc.o" "gcc" "src/CMakeFiles/umany.dir/power/mcpat_lite.cc.o.d"
+  "/root/repo/src/power/tech.cc" "src/CMakeFiles/umany.dir/power/tech.cc.o" "gcc" "src/CMakeFiles/umany.dir/power/tech.cc.o.d"
+  "/root/repo/src/rpc/inter_server.cc" "src/CMakeFiles/umany.dir/rpc/inter_server.cc.o" "gcc" "src/CMakeFiles/umany.dir/rpc/inter_server.cc.o.d"
+  "/root/repo/src/rpc/network_hub.cc" "src/CMakeFiles/umany.dir/rpc/network_hub.cc.o" "gcc" "src/CMakeFiles/umany.dir/rpc/network_hub.cc.o.d"
+  "/root/repo/src/rpc/nic.cc" "src/CMakeFiles/umany.dir/rpc/nic.cc.o" "gcc" "src/CMakeFiles/umany.dir/rpc/nic.cc.o.d"
+  "/root/repo/src/rpc/top_nic.cc" "src/CMakeFiles/umany.dir/rpc/top_nic.cc.o" "gcc" "src/CMakeFiles/umany.dir/rpc/top_nic.cc.o.d"
+  "/root/repo/src/rpc/transport.cc" "src/CMakeFiles/umany.dir/rpc/transport.cc.o" "gcc" "src/CMakeFiles/umany.dir/rpc/transport.cc.o.d"
+  "/root/repo/src/sched/dispatcher.cc" "src/CMakeFiles/umany.dir/sched/dispatcher.cc.o" "gcc" "src/CMakeFiles/umany.dir/sched/dispatcher.cc.o.d"
+  "/root/repo/src/sched/hw_rq.cc" "src/CMakeFiles/umany.dir/sched/hw_rq.cc.o" "gcc" "src/CMakeFiles/umany.dir/sched/hw_rq.cc.o.d"
+  "/root/repo/src/sched/queue_system.cc" "src/CMakeFiles/umany.dir/sched/queue_system.cc.o" "gcc" "src/CMakeFiles/umany.dir/sched/queue_system.cc.o.d"
+  "/root/repo/src/sched/request.cc" "src/CMakeFiles/umany.dir/sched/request.cc.o" "gcc" "src/CMakeFiles/umany.dir/sched/request.cc.o.d"
+  "/root/repo/src/sched/service_map.cc" "src/CMakeFiles/umany.dir/sched/service_map.cc.o" "gcc" "src/CMakeFiles/umany.dir/sched/service_map.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/umany.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/umany.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/umany.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/umany.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/umany.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/umany.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/umany.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/umany.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/sim_object.cc" "src/CMakeFiles/umany.dir/sim/sim_object.cc.o" "gcc" "src/CMakeFiles/umany.dir/sim/sim_object.cc.o.d"
+  "/root/repo/src/stats/cdf.cc" "src/CMakeFiles/umany.dir/stats/cdf.cc.o" "gcc" "src/CMakeFiles/umany.dir/stats/cdf.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/umany.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/umany.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/stats_dump.cc" "src/CMakeFiles/umany.dir/stats/stats_dump.cc.o" "gcc" "src/CMakeFiles/umany.dir/stats/stats_dump.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/CMakeFiles/umany.dir/stats/summary.cc.o" "gcc" "src/CMakeFiles/umany.dir/stats/summary.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/umany.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/umany.dir/stats/table.cc.o.d"
+  "/root/repo/src/uarch/gshare.cc" "src/CMakeFiles/umany.dir/uarch/gshare.cc.o" "gcc" "src/CMakeFiles/umany.dir/uarch/gshare.cc.o.d"
+  "/root/repo/src/uarch/ispy_lite.cc" "src/CMakeFiles/umany.dir/uarch/ispy_lite.cc.o" "gcc" "src/CMakeFiles/umany.dir/uarch/ispy_lite.cc.o.d"
+  "/root/repo/src/uarch/perceptron.cc" "src/CMakeFiles/umany.dir/uarch/perceptron.cc.o" "gcc" "src/CMakeFiles/umany.dir/uarch/perceptron.cc.o.d"
+  "/root/repo/src/uarch/pipeline_model.cc" "src/CMakeFiles/umany.dir/uarch/pipeline_model.cc.o" "gcc" "src/CMakeFiles/umany.dir/uarch/pipeline_model.cc.o.d"
+  "/root/repo/src/uarch/prefetcher.cc" "src/CMakeFiles/umany.dir/uarch/prefetcher.cc.o" "gcc" "src/CMakeFiles/umany.dir/uarch/prefetcher.cc.o.d"
+  "/root/repo/src/uarch/pythia_lite.cc" "src/CMakeFiles/umany.dir/uarch/pythia_lite.cc.o" "gcc" "src/CMakeFiles/umany.dir/uarch/pythia_lite.cc.o.d"
+  "/root/repo/src/uarch/stride_prefetcher.cc" "src/CMakeFiles/umany.dir/uarch/stride_prefetcher.cc.o" "gcc" "src/CMakeFiles/umany.dir/uarch/stride_prefetcher.cc.o.d"
+  "/root/repo/src/uarch/trace_gen.cc" "src/CMakeFiles/umany.dir/uarch/trace_gen.cc.o" "gcc" "src/CMakeFiles/umany.dir/uarch/trace_gen.cc.o.d"
+  "/root/repo/src/workload/alibaba.cc" "src/CMakeFiles/umany.dir/workload/alibaba.cc.o" "gcc" "src/CMakeFiles/umany.dir/workload/alibaba.cc.o.d"
+  "/root/repo/src/workload/app_graph.cc" "src/CMakeFiles/umany.dir/workload/app_graph.cc.o" "gcc" "src/CMakeFiles/umany.dir/workload/app_graph.cc.o.d"
+  "/root/repo/src/workload/loadgen.cc" "src/CMakeFiles/umany.dir/workload/loadgen.cc.o" "gcc" "src/CMakeFiles/umany.dir/workload/loadgen.cc.o.d"
+  "/root/repo/src/workload/media_graph.cc" "src/CMakeFiles/umany.dir/workload/media_graph.cc.o" "gcc" "src/CMakeFiles/umany.dir/workload/media_graph.cc.o.d"
+  "/root/repo/src/workload/service.cc" "src/CMakeFiles/umany.dir/workload/service.cc.o" "gcc" "src/CMakeFiles/umany.dir/workload/service.cc.o.d"
+  "/root/repo/src/workload/snapshot.cc" "src/CMakeFiles/umany.dir/workload/snapshot.cc.o" "gcc" "src/CMakeFiles/umany.dir/workload/snapshot.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/CMakeFiles/umany.dir/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/umany.dir/workload/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/umany_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/umany_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cluster_sim.cc" "tests/CMakeFiles/umany_tests.dir/test_cluster_sim.cc.o" "gcc" "tests/CMakeFiles/umany_tests.dir/test_cluster_sim.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/umany_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/umany_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_cpu.cc" "tests/CMakeFiles/umany_tests.dir/test_cpu.cc.o" "gcc" "tests/CMakeFiles/umany_tests.dir/test_cpu.cc.o.d"
+  "/root/repo/tests/test_driver.cc" "tests/CMakeFiles/umany_tests.dir/test_driver.cc.o" "gcc" "tests/CMakeFiles/umany_tests.dir/test_driver.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/umany_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/umany_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_histogram.cc" "tests/CMakeFiles/umany_tests.dir/test_histogram.cc.o" "gcc" "tests/CMakeFiles/umany_tests.dir/test_histogram.cc.o.d"
+  "/root/repo/tests/test_machine.cc" "tests/CMakeFiles/umany_tests.dir/test_machine.cc.o" "gcc" "tests/CMakeFiles/umany_tests.dir/test_machine.cc.o.d"
+  "/root/repo/tests/test_media_graph.cc" "tests/CMakeFiles/umany_tests.dir/test_media_graph.cc.o" "gcc" "tests/CMakeFiles/umany_tests.dir/test_media_graph.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/umany_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/umany_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_network.cc" "tests/CMakeFiles/umany_tests.dir/test_network.cc.o" "gcc" "tests/CMakeFiles/umany_tests.dir/test_network.cc.o.d"
+  "/root/repo/tests/test_paper_shapes.cc" "tests/CMakeFiles/umany_tests.dir/test_paper_shapes.cc.o" "gcc" "tests/CMakeFiles/umany_tests.dir/test_paper_shapes.cc.o.d"
+  "/root/repo/tests/test_power.cc" "tests/CMakeFiles/umany_tests.dir/test_power.cc.o" "gcc" "tests/CMakeFiles/umany_tests.dir/test_power.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/umany_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/umany_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/umany_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/umany_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_rpc.cc" "tests/CMakeFiles/umany_tests.dir/test_rpc.cc.o" "gcc" "tests/CMakeFiles/umany_tests.dir/test_rpc.cc.o.d"
+  "/root/repo/tests/test_sched.cc" "tests/CMakeFiles/umany_tests.dir/test_sched.cc.o" "gcc" "tests/CMakeFiles/umany_tests.dir/test_sched.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/umany_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/umany_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_topology.cc" "tests/CMakeFiles/umany_tests.dir/test_topology.cc.o" "gcc" "tests/CMakeFiles/umany_tests.dir/test_topology.cc.o.d"
+  "/root/repo/tests/test_uarch.cc" "tests/CMakeFiles/umany_tests.dir/test_uarch.cc.o" "gcc" "tests/CMakeFiles/umany_tests.dir/test_uarch.cc.o.d"
+  "/root/repo/tests/test_uarch_sweeps.cc" "tests/CMakeFiles/umany_tests.dir/test_uarch_sweeps.cc.o" "gcc" "tests/CMakeFiles/umany_tests.dir/test_uarch_sweeps.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/umany_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/umany_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/umany.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for umany_tests.
+# This may be replaced when dependencies are built.
