@@ -23,6 +23,23 @@
 namespace umany::bench
 {
 
+/** Read the shared observability flags out of a parsed Config. */
+inline ObsConfig
+obsFromConfig(const Config &cfg)
+{
+    ObsConfig obs;
+    obs.traceOut = cfg.getString("trace_out", "");
+    obs.statsJson = cfg.getString("stats_json", "");
+    const double us = cfg.getDouble("sample_interval_us", 0.0);
+    if (us < 0.0)
+        fatal("sample_interval_us must be >= 0 (got %g)", us);
+    obs.sampleInterval = fromUs(us);
+    obs.traceCapacity = static_cast<std::size_t>(cfg.getInt(
+        "trace_capacity",
+        static_cast<std::int64_t>(TraceSink::defaultCapacity)));
+    return obs;
+}
+
 /** Common run-shape options every bench accepts on argv. */
 struct BenchArgs
 {
@@ -31,6 +48,14 @@ struct BenchArgs
     Tick warmup = fromMs(30.0);
     Tick measure = fromMs(450.0);
     std::uint64_t seed = 0x5eedull;
+    /**
+     * Observability (all off by default):
+     *   --trace-out=PATH         Chrome trace of the run
+     *   --stats-json=PATH        machine-readable run artifact
+     *   --sample-interval-us=N   sampler period
+     *   --trace-capacity=N       TraceSink size in events
+     */
+    ObsConfig obs;
 
     void
     parse(int argc, char **argv)
@@ -42,6 +67,7 @@ struct BenchArgs
         measure = fromMs(cfg.getDouble("measure_ms", toMs(measure)));
         seed = static_cast<std::uint64_t>(
             cfg.getInt("seed", static_cast<std::int64_t>(seed)));
+        obs = obsFromConfig(cfg);
     }
 };
 
@@ -58,6 +84,7 @@ evalConfig(const MachineParams &machine, double rps_per_server,
     cfg.warmup = args.warmup;
     cfg.measure = args.measure;
     cfg.seed = args.seed;
+    cfg.obs = args.obs;
     return cfg;
 }
 

@@ -6,7 +6,14 @@
  *
  * Usage: quickstart [rps=10000] [servers=4] [seed=1] [machine=um]
  *                   [app=social|media] [arrivals=bursty|poisson]
+ *                   [--trace-out=run.trace.json]
+ *                   [--stats-json=run.json]
+ *                   [--sample-interval-us=50]
  *   machine: um (μManycore) | so (ScaleOut) | sc (ServerClass)
+ *
+ * With --trace-out the run emits a Chrome trace_event file: open it
+ * at https://ui.perfetto.dev (or chrome://tracing) to see every
+ * request's lifecycle as spans across villages, cores, and the NoC.
  */
 
 #include <cstdio>
@@ -48,6 +55,16 @@ main(int argc, char **argv)
     exp.measure = fromMs(400.0);
     if (cfg.getString("arrivals", "bursty") == "bursty")
         exp.arrivals = ArrivalKind::Bursty;
+    exp.obs.traceOut = cfg.getString("trace_out", "");
+    exp.obs.statsJson = cfg.getString("stats_json", "");
+    const double sample_us =
+        cfg.getDouble("sample_interval_us", 0.0);
+    if (sample_us < 0.0)
+        fatal("sample_interval_us must be >= 0 (got %g)", sample_us);
+    exp.obs.sampleInterval = fromUs(sample_us);
+    exp.obs.traceCapacity = static_cast<std::size_t>(cfg.getInt(
+        "trace_capacity",
+        static_cast<std::int64_t>(TraceSink::defaultCapacity)));
 
     const ServiceCatalog catalog =
         cfg.getString("app", "social") == "media"
@@ -86,5 +103,13 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(m.icnMessages));
     if (cfg.getBool("dump", false))
         std::printf("\n---- stats dump ----\n%s", dump.format().c_str());
+    if (!exp.obs.traceOut.empty()) {
+        std::printf("trace written to %s (load it at "
+                    "https://ui.perfetto.dev)\n",
+                    exp.obs.traceOut.c_str());
+    }
+    if (!exp.obs.statsJson.empty())
+        std::printf("run artifact written to %s\n",
+                    exp.obs.statsJson.c_str());
     return 0;
 }

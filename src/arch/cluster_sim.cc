@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace umany
@@ -167,6 +168,7 @@ ClusterSim::submitRoot(ServiceId endpoint)
     req->respBytes = 2048;
 
     const ServerId target = rrServer_++ % servers_.size();
+    UMANY_TRACE(traceReqCreated(eq_.now(), *req, target));
     const Tick arrive =
         eq_.now() +
         servers_[target]->machine().topNic().params().extLatency;
@@ -229,6 +231,7 @@ ClusterSim::handleServiceCall(ServerId s, ServiceRequest *parent,
     ServiceRequest *child = makeRequest(step.callee, parent);
     child->reqBytes = step.requestBytes;
     child->respBytes = step.responseBytes;
+    UMANY_TRACE(traceReqCreated(eq_.now(), *child, target));
 
     Machine &src = servers_[s]->machine();
     if (target == s) {

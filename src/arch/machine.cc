@@ -6,6 +6,7 @@
 #include "noc/fat_tree.hh"
 #include "noc/leaf_spine.hh"
 #include "noc/mesh.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace umany
@@ -86,6 +87,7 @@ Machine::buildTopology()
     net_ = std::make_unique<Network>(name() + ".net", eventq(),
                                      *topo_, rng_.next());
     net_->setContention(p_.icnContention);
+    net_->setTracePid(self_);
 }
 
 void
@@ -147,6 +149,7 @@ Machine::buildStructure()
         sp.stealAttempts = p_.stealAttempts;
         sp.ghz = p_.core.ghz;
         swq_ = std::make_unique<SwQueueSystem>(sp, rng_.next());
+        swq_->setTracePid(self_);
     }
     // The centralized software scheduler core exists whenever
     // dispatch or context switching runs in software.
@@ -155,12 +158,14 @@ Machine::buildStructure()
         DispatcherParams dp = p_.dispatcher;
         dp.ghz = p_.core.ghz;
         dispatcher_ = std::make_unique<SwDispatcher>(dp);
+        dispatcher_->setTracePid(self_);
     }
 
     TopNicParams tp = p_.topNic;
     tp.ghz = p_.core.ghz;
     tp.hardwareDispatch = p_.sched == MachineParams::Sched::HwRq;
     topNic_ = std::make_unique<TopLevelNic>(tp);
+    topNic_->setTracePid(self_);
     rnic_ = std::make_unique<RNicTransport>(p_.rnic, rng_.next());
 
     // All cores start idle.
@@ -190,6 +195,16 @@ std::uint32_t
 Machine::queueOfVillage(VillageId v) const
 {
     return swq_->queueOfCore(villages_[v].cores.front());
+}
+
+std::size_t
+Machine::villageQueueDepth(VillageId v) const
+{
+    if (p_.sched == MachineParams::Sched::HwRq) {
+        return villages_[v].rq->readyCount() +
+               villages_[v].rq->bufferedCount();
+    }
+    return swq_->queueLength(queueOfVillage(v));
 }
 
 double
@@ -279,6 +294,8 @@ Machine::villageIngress(ServiceRequest *req, VillageId v)
 void
 Machine::enqueueFresh(ServiceRequest *req)
 {
+    UMANY_TRACE(traceReqTransition(curTick(), *req,
+                                   ReqState::Queued));
     req->state = ReqState::Queued;
     req->enqueuedAt = curTick();
     const VillageId v = req->village;
@@ -306,6 +323,8 @@ Machine::enqueueFresh(ServiceRequest *req)
 void
 Machine::reEnqueue(ServiceRequest *req)
 {
+    UMANY_TRACE(traceReqTransition(curTick(), *req,
+                                   ReqState::Ready));
     req->state = ReqState::Ready;
     req->enqueuedAt = curTick();
     const VillageId v = req->village;
@@ -361,6 +380,8 @@ Machine::startRun(CoreId core, ServiceRequest *req, Tick ready_at)
 {
     cores_[core].beginWork(req, curTick());
     req->queuedTime += curTick() - req->enqueuedAt;
+    UMANY_TRACE(traceReqTransition(curTick(), *req,
+                                   ReqState::Running));
     req->state = ReqState::Running;
 
     Tick t = ready_at;
@@ -370,6 +391,9 @@ Machine::startRun(CoreId core, ServiceRequest *req, Tick ready_at)
         t += p_.cs.restoreTime(p_.core.ghz);
         req->contextSwitches += 1;
         cores_[core].countSwitch();
+        UMANY_TRACE(TraceSink::active()->instant(
+            curTick(), self_, traceCoreTrack(core), "cs.restore",
+            req->id()));
     }
     // Deferred software overhead (RPC rx processing, unblocks).
     if (req->pendingOverhead > 0) {
@@ -414,6 +438,14 @@ Machine::runSegment(CoreId core, ServiceRequest *req)
         work *= 1.0 + p_.dirStallFactor;
     const Tick dur = static_cast<Tick>(work);
     req->runningTime += dur;
+    // The on-core execution window, on the core's own track.
+    UMANY_TRACE({
+        TraceSink *s = TraceSink::active();
+        s->durBegin(curTick(), self_, traceCoreTrack(core),
+                    "segment", req->id());
+        s->durEnd(curTick() + dur, self_, traceCoreTrack(core),
+                  "segment", req->id());
+    });
 
     // Memory-system traffic generated by this segment. Under global
     // coherence, misses indirect through directories spread across
@@ -469,6 +501,12 @@ Machine::segmentDone(CoreId core, ServiceRequest *req)
 
     // Block on the next call group.
     const CallGroup &group = req->behavior().groups[req->segIndex];
+    UMANY_TRACE({
+        traceReqTransition(curTick(), *req, ReqState::Blocked);
+        TraceSink::active()->instant(curTick(), self_,
+                                     traceCoreTrack(core),
+                                     "cs.save", req->id());
+    });
     req->state = ReqState::Blocked;
     req->pendingChildren = static_cast<std::uint32_t>(group.size());
     req->blockedGroup = req->segIndex;
@@ -526,6 +564,8 @@ Machine::issueCallGroup(ServiceRequest *req, VillageId v)
 void
 Machine::finishRequest(ServiceRequest *req, VillageId v)
 {
+    UMANY_TRACE(traceReqTransition(curTick(), *req,
+                                   ReqState::Finished));
     req->state = ReqState::Finished;
     req->finishedAt = curTick();
     ++completed_;
@@ -658,6 +698,8 @@ Machine::rejectRequest(ServiceRequest *req)
 {
     ++rejected_;
     req->rejected = true;
+    UMANY_TRACE(traceReqTransition(curTick(), *req,
+                                   ReqState::Rejected));
     req->state = ReqState::Rejected;
     req->finishedAt = curTick();
     // An error response still flows back so callers never hang; it

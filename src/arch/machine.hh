@@ -190,6 +190,12 @@ class Machine : public SimObject
     VillageId villageOfCore(CoreId c) const;
     ClusterId clusterOfVillage(VillageId v) const;
     EndpointId villageEndpoint(VillageId v) const;
+    /**
+     * Requests waiting to run in @p v's queue right now (HW RQ:
+     * ready + NIC-buffered entries; SW: the village's shared queue).
+     * Used by the observability sampler.
+     */
+    std::size_t villageQueueDepth(VillageId v) const;
     /** Per-village execution-time factor (heterogeneous villages). */
     double villagePerfFactor(VillageId v) const;
 

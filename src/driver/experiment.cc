@@ -1,5 +1,11 @@
 #include "driver/experiment.hh"
 
+#include <memory>
+
+#include "driver/report.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/json.hh"
+#include "obs/sampler.hh"
 #include "sim/logging.hh"
 
 namespace umany
@@ -9,10 +15,29 @@ RunMetrics
 runExperiment(const ServiceCatalog &catalog,
               const ExperimentConfig &cfg, StatsDump *stats_out)
 {
+    // Tracing is scoped to the run: install a sink before the
+    // cluster is built so every lifecycle event lands in it, and
+    // restore the previous sink on exit.
+    std::unique_ptr<TraceSink> sink;
+    std::unique_ptr<ScopedTrace> scope;
+    const bool tracing = !cfg.obs.traceOut.empty();
+    if (tracing) {
+        sink = std::make_unique<TraceSink>(cfg.obs.traceCapacity);
+        scope = std::make_unique<ScopedTrace>(*sink);
+    }
+
     EventQueue eq;
     ClusterSim sim(eq, catalog, cfg.machine, cfg.cluster);
     for (const auto &[ep, threshold] : cfg.qosThresholds)
         sim.setQosThreshold(ep, threshold);
+
+    std::unique_ptr<Sampler> sampler;
+    if (cfg.obs.sampleInterval > 0) {
+        sampler = std::make_unique<Sampler>(eq, sim,
+                                            cfg.obs.sampleInterval);
+        // Sampling stops with the load so the queue can drain.
+        sampler->start(cfg.warmup + cfg.measure);
+    }
 
     LoadGenParams lp;
     lp.rps = cfg.rpsPerServer *
@@ -41,10 +66,35 @@ runExperiment(const ServiceCatalog &catalog,
                  sim.requestsInFlight()));
     }
 
+    if (tracing)
+        writeChromeTrace(*sink, cfg.obs.traceOut);
+
+    StatsDump stats;
+    if (stats_out != nullptr || !cfg.obs.statsJson.empty())
+        stats = collectStats(sim);
     if (stats_out != nullptr)
-        *stats_out = collectStats(sim);
-    return collectMetrics(sim, catalog, cfg.measure,
-                          cfg.rpsPerServer);
+        *stats_out = stats;
+
+    const RunMetrics metrics =
+        collectMetrics(sim, catalog, cfg.measure, cfg.rpsPerServer);
+
+    if (!cfg.obs.statsJson.empty()) {
+        // One self-contained artifact per run: metrics + stats (+
+        // sampler series), each section a documented schema.
+        JsonWriter w;
+        w.beginObject();
+        w.key("name").value(cfg.machine.name);
+        w.key("drained").value(drained);
+        w.key("metrics").raw(metricsJson(metrics));
+        w.key("stats").raw(stats.formatJson());
+        if (sampler)
+            w.key("samples").raw(sampler->toJson());
+        else
+            w.key("samples").null();
+        w.endObject();
+        writeTextFile(cfg.obs.statsJson, w.str());
+    }
+    return metrics;
 }
 
 std::map<ServiceId, Tick>

@@ -9,14 +9,33 @@
 #define UMANY_DRIVER_EXPERIMENT_HH
 
 #include <map>
+#include <string>
 
 #include "arch/cluster_sim.hh"
 #include "driver/metrics.hh"
+#include "obs/trace.hh"
 #include "stats/stats_dump.hh"
 #include "workload/loadgen.hh"
 
 namespace umany
 {
+
+/** Observability options of one run (all off by default). */
+struct ObsConfig
+{
+    /** Chrome trace_event output path ("" disables tracing). */
+    std::string traceOut;
+    /**
+     * Machine-readable run artifact path ("" disables): one JSON
+     * document holding the RunMetrics report, the full stats dump,
+     * and (when sampling is on) the sampler time series.
+     */
+    std::string statsJson;
+    /** Sampler period in ticks (0 disables the sampler). */
+    Tick sampleInterval = 0;
+    /** TraceSink capacity in events. */
+    std::size_t traceCapacity = TraceSink::defaultCapacity;
+};
 
 /** One experiment's configuration. */
 struct ExperimentConfig
@@ -33,6 +52,8 @@ struct ExperimentConfig
     std::uint64_t seed = 0xfeedbeefull;
     /** Optional per-endpoint QoS thresholds (§6.5). */
     std::map<ServiceId, Tick> qosThresholds;
+    /** Tracing / sampling / artifact output. */
+    ObsConfig obs;
 };
 
 /**

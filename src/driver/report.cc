@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/json.hh"
 #include "sim/logging.hh"
 #include "stats/table.hh"
 
@@ -70,6 +71,52 @@ meanReduction(const RunMetrics &baseline, const RunMetrics &other,
         ++n;
     }
     return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
+}
+
+namespace
+{
+
+void
+latencyJson(JsonWriter &w, const LatencyStats &s)
+{
+    w.beginObject();
+    w.key("avg_ms").value(s.avgMs);
+    w.key("p50_ms").value(s.p50Ms);
+    w.key("p99_ms").value(s.p99Ms);
+    w.key("samples").value(s.samples);
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+metricsJson(const RunMetrics &m)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("overall");
+    latencyJson(w, m.overall);
+    w.key("endpoints").beginObject();
+    for (const auto &[name, stats] : m.perEndpoint) {
+        w.key(name);
+        latencyJson(w, stats);
+    }
+    w.endObject();
+    w.key("throughput_rps").value(m.throughputRps);
+    w.key("offered_rps").value(m.offeredRps);
+    w.key("completed").value(m.completed);
+    w.key("rejected").value(m.rejected);
+    w.key("qos_violations").value(m.qosViolations);
+    w.key("observed").value(m.observed);
+    w.key("qos_violation_rate").value(m.qosViolationRate());
+    w.key("rejection_rate").value(m.rejectionRate());
+    w.key("avg_core_utilization").value(m.avgCoreUtilization);
+    w.key("dispatcher_utilization").value(m.dispatcherUtilization);
+    w.key("mean_link_utilization").value(m.meanLinkUtilization);
+    w.key("max_link_utilization").value(m.maxLinkUtilization);
+    w.key("icn_messages").value(m.icnMessages);
+    w.endObject();
+    return w.str();
 }
 
 } // namespace umany

@@ -37,6 +37,14 @@ double
 meanReduction(const RunMetrics &baseline, const RunMetrics &other,
               const std::function<double(const LatencyStats &)> &value);
 
+/**
+ * Render one run's metrics as a JSON object (latency per endpoint
+ * and overall, throughput, rejection/QoS counters, utilizations) so
+ * benches and CI diff runs mechanically instead of scraping text.
+ * Schema documented in EXPERIMENTS.md.
+ */
+std::string metricsJson(const RunMetrics &m);
+
 } // namespace umany
 
 #endif // UMANY_DRIVER_REPORT_HH

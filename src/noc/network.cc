@@ -3,10 +3,29 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace umany
 {
+
+namespace
+{
+
+const char *
+msgClassName(MsgClass cls)
+{
+    switch (cls) {
+      case MsgClass::Request: return "icn.request";
+      case MsgClass::Response: return "icn.response";
+      case MsgClass::Coherence: return "icn.coherence";
+      case MsgClass::BulkData: return "icn.bulk";
+      case MsgClass::Control: return "icn.control";
+    }
+    return "icn.msg";
+}
+
+} // namespace
 
 Network::Network(std::string name, EventQueue &eq, const Topology &topo,
                  std::uint64_t seed)
@@ -19,7 +38,7 @@ void
 Network::send(const Message &msg, DeliverFn on_deliver)
 {
     ++sent_;
-    auto flight = std::make_unique<Flight>();
+    auto flight = std::make_shared<Flight>();
     flight->msg = msg;
     flight->start = curTick();
     flight->deliver = std::move(on_deliver);
@@ -29,6 +48,7 @@ Network::send(const Message &msg, DeliverFn on_deliver)
         ++delivered_;
         latency_.add(0);
         queueDelay_.add(0);
+        traceDelivery(*flight);
         auto deliver = std::move(flight->deliver);
         eventq().scheduleAfter(0, std::move(deliver));
         return;
@@ -37,7 +57,7 @@ Network::send(const Message &msg, DeliverFn on_deliver)
 }
 
 void
-Network::hop(std::unique_ptr<Flight> flight)
+Network::hop(std::shared_ptr<Flight> flight)
 {
     const LinkId id = flight->path[flight->hop];
     const LinkSpec &spec = topo_.links()[id];
@@ -64,18 +84,34 @@ Network::hop(std::unique_ptr<Flight> flight)
     const Tick arrival = depart + spec.latency + (last_hop ? ser : 0);
     flight->hop += 1;
 
-    Flight *raw = flight.release();
-    eventq().schedule(arrival, [this, raw]() {
-        std::unique_ptr<Flight> f(raw);
+    // Shared (not released raw): std::function requires a copyable
+    // capture, and shared ownership means flights pending in a
+    // destroyed event queue are freed rather than leaked.
+    eventq().schedule(arrival, [this, f = std::move(flight)]() {
         if (f->hop >= f->path.size()) {
             ++delivered_;
             latency_.add(curTick() - f->start);
             queueDelay_.add(f->queued);
+            traceDelivery(*f);
             f->deliver();
         } else {
-            hop(std::move(f));
+            hop(f);
         }
     });
+}
+
+void
+Network::traceDelivery(const Flight &flight)
+{
+    // One instant per delivered message, named by traffic class; the
+    // src/dst endpoints are packed into the event id so a hop of a
+    // traced request can be located in the args.
+    UMANY_TRACE(TraceSink::active()->instant(
+        curTick(), tracePid_, traceIcnTrack,
+        msgClassName(flight.msg.cls),
+        (static_cast<std::uint64_t>(flight.msg.src) << 32) |
+            flight.msg.dst,
+        static_cast<double>(flight.msg.bytes)));
 }
 
 double

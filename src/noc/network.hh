@@ -46,6 +46,9 @@ class Network : public SimObject
     void setContention(bool enabled) { contention_ = enabled; }
     bool contention() const { return contention_; }
 
+    /** Server id used as the pid of emitted trace events. */
+    void setTracePid(std::uint32_t pid) { tracePid_ = pid; }
+
     /**
      * Send a message; @p on_deliver runs when it arrives at the
      * destination endpoint.
@@ -83,6 +86,7 @@ class Network : public SimObject
     const Topology &topo_;
     Rng rng_;
     bool contention_ = true;
+    std::uint32_t tracePid_ = 0;
 
     std::vector<LinkState> state_;
     std::uint64_t sent_ = 0;
@@ -100,7 +104,8 @@ class Network : public SimObject
         DeliverFn deliver;
     };
 
-    void hop(std::unique_ptr<Flight> flight);
+    void hop(std::shared_ptr<Flight> flight);
+    void traceDelivery(const Flight &flight);
 };
 
 } // namespace umany

@@ -1,0 +1,162 @@
+#include "obs/chrome_trace.hh"
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "obs/json.hh"
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+namespace
+{
+
+/** Human-readable name for a track id (thread_name metadata). */
+std::string
+trackName(std::uint64_t tid)
+{
+    if (tid >= traceCoreTrackBase && tid < traceSwqTrackBase) {
+        return strprintf("core %llu",
+                         static_cast<unsigned long long>(
+                             tid - traceCoreTrackBase));
+    }
+    if (tid >= traceSwqTrackBase && tid < traceDispatcherTrack) {
+        return strprintf("swq %llu",
+                         static_cast<unsigned long long>(
+                             tid - traceSwqTrackBase));
+    }
+    if (tid == traceDispatcherTrack)
+        return "dispatcher";
+    if (tid == traceNicTrack)
+        return "top-nic";
+    if (tid == traceIcnTrack)
+        return "icn";
+    if (tid == traceCounterTrack)
+        return "counters";
+    return strprintf("village %llu",
+                     static_cast<unsigned long long>(tid));
+}
+
+const char *
+phaseCode(TracePhase p)
+{
+    switch (p) {
+      case TracePhase::SpanBegin: return "b";
+      case TracePhase::SpanEnd: return "e";
+      case TracePhase::DurBegin: return "B";
+      case TracePhase::DurEnd: return "E";
+      case TracePhase::Instant: return "i";
+      case TracePhase::Counter: return "C";
+    }
+    return "i";
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const TraceSink &sink)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("traceEvents").beginArray();
+
+    std::set<std::uint32_t> pids;
+    std::set<std::pair<std::uint32_t, std::uint64_t>> tracks;
+
+    for (const TraceEvent &e : sink.events()) {
+        pids.insert(e.pid);
+        tracks.emplace(e.pid, e.tid);
+
+        w.beginObject();
+        w.key("name").value(e.name);
+        w.key("ph").value(phaseCode(e.phase));
+        // Chrome's ts unit is microseconds; fractional values keep
+        // the simulator's picosecond resolution.
+        w.key("ts").value(toUs(e.ts));
+        w.key("pid").value(static_cast<std::uint64_t>(e.pid));
+        w.key("tid").value(e.tid);
+        switch (e.phase) {
+          case TracePhase::SpanBegin:
+          case TracePhase::SpanEnd:
+            w.key("cat").value("request");
+            w.key("id").value(strprintf(
+                "0x%llx", static_cast<unsigned long long>(e.id)));
+            break;
+          case TracePhase::Instant:
+            w.key("s").value("t");
+            if (e.id != 0 || e.value != 0.0) {
+                w.key("args").beginObject();
+                if (e.id != 0)
+                    w.key("id").value(e.id);
+                if (e.value != 0.0)
+                    w.key("value").value(e.value);
+                w.endObject();
+            }
+            break;
+          case TracePhase::Counter:
+            w.key("args").beginObject();
+            w.key("value").value(e.value);
+            w.endObject();
+            break;
+          case TracePhase::DurBegin:
+          case TracePhase::DurEnd:
+            if (e.id != 0) {
+                w.key("args").beginObject();
+                w.key("req").value(e.id);
+                w.endObject();
+            }
+            break;
+        }
+        w.endObject();
+    }
+
+    // Metadata: name the process and thread tracks.
+    for (const std::uint32_t pid : pids) {
+        w.beginObject();
+        w.key("name").value("process_name");
+        w.key("ph").value("M");
+        w.key("pid").value(static_cast<std::uint64_t>(pid));
+        w.key("args").beginObject();
+        w.key("name").value(strprintf("server%u", pid));
+        w.endObject();
+        w.endObject();
+    }
+    for (const auto &[pid, tid] : tracks) {
+        w.beginObject();
+        w.key("name").value("thread_name");
+        w.key("ph").value("M");
+        w.key("pid").value(static_cast<std::uint64_t>(pid));
+        w.key("tid").value(tid);
+        w.key("args").beginObject();
+        w.key("name").value(trackName(tid));
+        w.endObject();
+        w.endObject();
+    }
+
+    w.endArray();
+    w.key("displayTimeUnit").value("ns");
+    w.key("otherData").beginObject();
+    w.key("recorded").value(
+        static_cast<std::uint64_t>(sink.recorded()));
+    w.key("dropped").value(sink.dropped());
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+bool
+writeChromeTrace(const TraceSink &sink, const std::string &path)
+{
+    if (sink.dropped() > 0) {
+        warn("trace buffer overflowed: %llu events dropped "
+             "(capacity %zu); '%s' is truncated — raise the trace "
+             "capacity or shorten the run",
+             static_cast<unsigned long long>(sink.dropped()),
+             sink.capacity(), path.c_str());
+    }
+    return writeTextFile(path, chromeTraceJson(sink));
+}
+
+} // namespace umany

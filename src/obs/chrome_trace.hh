@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Chrome trace_event JSON exporter: renders a TraceSink's buffer in
+ * the format Perfetto and chrome://tracing load directly, so a tail
+ * request can be visually walked across villages, cores, and
+ * servers. pid = server, tid = village/core/substrate track (see the
+ * track-id conventions in obs/trace.hh); request-lifecycle spans are
+ * async events keyed by the request id.
+ */
+
+#ifndef UMANY_OBS_CHROME_TRACE_HH
+#define UMANY_OBS_CHROME_TRACE_HH
+
+#include <string>
+
+#include "obs/trace.hh"
+
+namespace umany
+{
+
+/** Render @p sink as a Chrome trace_event JSON document. */
+std::string chromeTraceJson(const TraceSink &sink);
+
+/**
+ * Write @p sink to @p path as Chrome trace JSON; warn()s when the
+ * sink dropped events (the trace is truncated) or the write fails.
+ *
+ * @return true when the file was written completely.
+ */
+bool writeChromeTrace(const TraceSink &sink, const std::string &path);
+
+} // namespace umany
+
+#endif // UMANY_OBS_CHROME_TRACE_HH

@@ -1,0 +1,441 @@
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+void
+JsonWriter::separator()
+{
+    if (pendingKey_) {
+        // A key was just emitted; this value completes the member.
+        pendingKey_ = false;
+        return;
+    }
+    if (!counts_.empty()) {
+        if (counts_.back() > 0)
+            out_ += ',';
+        counts_.back() += 1;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separator();
+    out_ += '{';
+    counts_.push_back(0);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    counts_.pop_back();
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separator();
+    out_ += '[';
+    counts_.push_back(0);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    counts_.pop_back();
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    separator();
+    out_ += '"';
+    out_ += escape(k);
+    out_ += "\":";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    separator();
+    out_ += '"';
+    out_ += escape(v);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string_view(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separator();
+    if (!std::isfinite(v)) {
+        // JSON has no NaN/Inf; null keeps the document parseable.
+        out_ += "null";
+        return *this;
+    }
+    // %.17g round-trips doubles; trim to a plain integer when exact.
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        out_ += strprintf("%.0f", v);
+    } else {
+        out_ += strprintf("%.17g", v);
+    }
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separator();
+    out_ += strprintf("%llu", static_cast<unsigned long long>(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    separator();
+    out_ += strprintf("%lld", static_cast<long long>(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separator();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    separator();
+    out_ += "null";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::raw(std::string_view json)
+{
+    separator();
+    out_ += json;
+    return *this;
+}
+
+std::string
+JsonWriter::escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a string_view cursor. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string *err)
+        : text_(text), err_(err)
+    {
+    }
+
+    bool
+    parse(JsonValue &out)
+    {
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::string *err_;
+
+    bool
+    fail(const char *what)
+    {
+        if (err_ != nullptr) {
+            *err_ = strprintf("JSON error at offset %zu: %s", pos_,
+                              what);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        switch (c) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.str);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true") || fail("bad literal");
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false") || fail("bad literal");
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null") || fail("bad literal");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':'");
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.members.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (consume(']'))
+            return true;
+        while (true) {
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.items.push_back(std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("bad escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("bad \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad hex digit");
+                }
+                // The artifacts only escape control characters;
+                // encode the code point as UTF-8 (BMP only).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default: return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (consume('-')) {
+        }
+        while (pos_ < text_.size() &&
+               ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            return fail("expected a value");
+        const std::string num(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::strtod(num.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            return fail("malformed number");
+        return true;
+    }
+};
+
+} // namespace
+
+bool
+jsonParse(std::string_view text, JsonValue &out, std::string *err)
+{
+    Parser p(text, err);
+    return p.parse(out);
+}
+
+bool
+writeTextFile(const std::string &path, std::string_view content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        warn("cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    const std::size_t n =
+        std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    if (n != content.size()) {
+        warn("short write to '%s'", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace umany

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Minimal JSON support for machine-readable run artifacts: a
+ * streaming writer (used by the Chrome-trace exporter, the stats
+ * dump, and the run-metrics report) and a small recursive-descent
+ * parser (used by tests and tools to validate artifacts).
+ *
+ * Deliberately tiny: no external dependency, no DOM mutation API.
+ */
+
+#ifndef UMANY_OBS_JSON_HH
+#define UMANY_OBS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace umany
+{
+
+/**
+ * Streaming JSON writer with automatic comma/nesting management.
+ *
+ * Usage:
+ *   JsonWriter w;
+ *   w.beginObject().key("n").value(3.0).endObject();
+ *   w.str(); // {"n":3}
+ *
+ * The writer does not validate that keys are only used inside
+ * objects; callers are expected to produce well-formed sequences
+ * (tests parse the output back to catch mistakes).
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key (call before the member's value). */
+    JsonWriter &key(std::string_view k);
+
+    /** @name Values @{ */
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+    /** Splice a preformatted JSON document in as one value. */
+    JsonWriter &raw(std::string_view json);
+    /** @} */
+
+    /** The document produced so far. */
+    const std::string &str() const { return out_; }
+
+    /** Escape @p s for inclusion inside a JSON string literal. */
+    static std::string escape(std::string_view s);
+
+  private:
+    std::string out_;
+    /** One entry per open container: number of emitted elements. */
+    std::vector<std::size_t> counts_;
+    bool pendingKey_ = false;
+
+    void separator();
+};
+
+/** A parsed JSON value (tests/tools; not a mutation API). */
+struct JsonValue
+{
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> items; //!< Kind::Array elements.
+    /** Kind::Object members in document order. */
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+};
+
+/**
+ * Parse @p text as one JSON document.
+ *
+ * @param out Receives the parsed value on success.
+ * @param err When non-null, receives a human-readable error.
+ * @return true on success.
+ */
+bool jsonParse(std::string_view text, JsonValue &out,
+               std::string *err = nullptr);
+
+/** Write @p content to @p path; warn()s and returns false on error. */
+bool writeTextFile(const std::string &path, std::string_view content);
+
+} // namespace umany
+
+#endif // UMANY_OBS_JSON_HH

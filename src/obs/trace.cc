@@ -1,0 +1,49 @@
+#include "obs/trace.hh"
+
+#include "sched/request.hh"
+
+namespace umany
+{
+
+TraceSink *TraceSink::active_ = nullptr;
+
+TraceSink::TraceSink(std::size_t capacity) : cap_(capacity)
+{
+    buf_.reserve(cap_);
+}
+
+void
+TraceSink::clear()
+{
+    buf_.clear();
+    dropped_ = 0;
+}
+
+void
+traceReqCreated(Tick ts, const ServiceRequest &req, std::uint32_t pid)
+{
+    TraceSink *s = TraceSink::active();
+    if (s == nullptr)
+        return;
+    s->spanBegin(ts, pid, 0, reqStateName(ReqState::Created),
+                 req.id());
+}
+
+void
+traceReqTransition(Tick ts, const ServiceRequest &req, ReqState next)
+{
+    TraceSink *s = TraceSink::active();
+    if (s == nullptr || req.state == next)
+        return;
+    const std::uint32_t pid = req.server == invalidId ? 0 : req.server;
+    const std::uint64_t tid =
+        req.village == invalidId ? 0 : traceVillageTrack(req.village);
+    s->spanEnd(ts, pid, tid, reqStateName(req.state), req.id());
+    if (next == ReqState::Finished || next == ReqState::Rejected) {
+        s->instant(ts, pid, tid, reqStateName(next), req.id());
+        return;
+    }
+    s->spanBegin(ts, pid, tid, reqStateName(next), req.id());
+}
+
+} // namespace umany

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Request-lifecycle tracing (the observability substrate).
+ *
+ * A TraceSink is a bounded, preallocated event buffer that the
+ * simulation layers write fixed-size records into: request-state
+ * spans (created -> queued -> running -> blocked-on-callgroup ->
+ * ready -> finished/rejected), per-core segment durations,
+ * context-switch and NoC-message instants, and sampled counters.
+ * The Chrome trace_event exporter (obs/chrome_trace.hh) turns the
+ * buffer into a file loadable in Perfetto / chrome://tracing.
+ *
+ * Cost model: tracing must be free when off.
+ *  - Compile time: building with -DUMANY_TRACE_DISABLED=1 compiles
+ *    every UMANY_TRACE() instrumentation site to nothing.
+ *  - Run time: with no sink installed, a site is one static-pointer
+ *    load and branch.
+ * The simulator is single-threaded (one EventQueue drives a run), so
+ * the active-sink pointer is plain process state, not thread-local.
+ */
+
+#ifndef UMANY_OBS_TRACE_HH
+#define UMANY_OBS_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+// Compile-time kill switch for all instrumentation sites.
+#ifndef UMANY_TRACE_DISABLED
+#define UMANY_TRACE_DISABLED 0
+#endif
+
+#if UMANY_TRACE_DISABLED
+#define UMANY_TRACE(stmt)                                            \
+    do {                                                             \
+    } while (false)
+#else
+/**
+ * Guard an instrumentation statement: @p stmt runs only when a sink
+ * is installed. The statement typically calls a helper below or a
+ * TraceSink emitter via trace::sink().
+ */
+#define UMANY_TRACE(stmt)                                            \
+    do {                                                             \
+        if (::umany::TraceSink::active() != nullptr) {               \
+            stmt;                                                    \
+        }                                                            \
+    } while (false)
+#endif
+
+namespace umany
+{
+
+enum class ReqState : std::uint8_t; // sched/request.hh
+class ServiceRequest;
+
+/** Event phases, mirroring Chrome trace_event semantics. */
+enum class TracePhase : std::uint8_t
+{
+    SpanBegin, //!< Async span begin ('b'), keyed by (pid, id, name).
+    SpanEnd,   //!< Async span end ('e').
+    DurBegin,  //!< Thread-scoped duration begin ('B') on (pid, tid).
+    DurEnd,    //!< Thread-scoped duration end ('E').
+    Instant,   //!< Point event ('i').
+    Counter,   //!< Sampled value ('C').
+};
+
+/**
+ * One fixed-size trace record. @c name must be a string literal (or
+ * otherwise outlive the sink): records store the pointer only.
+ */
+struct TraceEvent
+{
+    Tick ts = 0;
+    TracePhase phase = TracePhase::Instant;
+    std::uint32_t pid = 0;   //!< Server (process track).
+    std::uint64_t tid = 0;   //!< Track within the server; see below.
+    const char *name = "";
+    std::uint64_t id = 0;    //!< Async span key (request id).
+    double value = 0.0;      //!< Counter value / payload bytes.
+};
+
+/**
+ * @name Track-id conventions
+ * Chrome tids are plain numbers; these offsets partition them into
+ * readable tracks (the exporter emits matching thread_name
+ * metadata). Villages are the low range.
+ * @{
+ */
+constexpr std::uint64_t traceCoreTrackBase = 0x100000;
+constexpr std::uint64_t traceSwqTrackBase = 0x200000;
+constexpr std::uint64_t traceDispatcherTrack = 0x300000;
+constexpr std::uint64_t traceNicTrack = 0x300001;
+constexpr std::uint64_t traceIcnTrack = 0x300002;
+constexpr std::uint64_t traceCounterTrack = 0x300003;
+
+constexpr std::uint64_t
+traceVillageTrack(VillageId v)
+{
+    return v;
+}
+
+constexpr std::uint64_t
+traceCoreTrack(CoreId c)
+{
+    return traceCoreTrackBase + c;
+}
+
+constexpr std::uint64_t
+traceSwqTrack(std::uint32_t q)
+{
+    return traceSwqTrackBase + q;
+}
+/** @} */
+
+/**
+ * The bounded event buffer.
+ *
+ * Overflow policy: the buffer is preallocated and records past
+ * capacity are dropped (and counted) rather than overwriting older
+ * ones — overwriting would orphan span-begin records and produce
+ * unbalanced traces. Exporters must surface dropped() so a truncated
+ * trace is never silently misleading.
+ */
+class TraceSink
+{
+  public:
+    /** @param capacity Maximum number of retained events. */
+    explicit TraceSink(std::size_t capacity = defaultCapacity);
+
+    static constexpr std::size_t defaultCapacity = 1u << 20;
+
+    /** Append one record (drops and counts when full). */
+    void
+    record(const TraceEvent &e)
+    {
+        if (buf_.size() >= cap_) {
+            ++dropped_;
+            return;
+        }
+        buf_.push_back(e);
+    }
+
+    /** @name Convenience emitters @{ */
+    void
+    spanBegin(Tick ts, std::uint32_t pid, std::uint64_t tid,
+              const char *name, std::uint64_t id)
+    {
+        record({ts, TracePhase::SpanBegin, pid, tid, name, id, 0.0});
+    }
+
+    void
+    spanEnd(Tick ts, std::uint32_t pid, std::uint64_t tid,
+            const char *name, std::uint64_t id)
+    {
+        record({ts, TracePhase::SpanEnd, pid, tid, name, id, 0.0});
+    }
+
+    void
+    durBegin(Tick ts, std::uint32_t pid, std::uint64_t tid,
+             const char *name, std::uint64_t id)
+    {
+        record({ts, TracePhase::DurBegin, pid, tid, name, id, 0.0});
+    }
+
+    void
+    durEnd(Tick ts, std::uint32_t pid, std::uint64_t tid,
+           const char *name, std::uint64_t id)
+    {
+        record({ts, TracePhase::DurEnd, pid, tid, name, id, 0.0});
+    }
+
+    void
+    instant(Tick ts, std::uint32_t pid, std::uint64_t tid,
+            const char *name, std::uint64_t id = 0,
+            double value = 0.0)
+    {
+        record({ts, TracePhase::Instant, pid, tid, name, id, value});
+    }
+
+    void
+    counter(Tick ts, std::uint32_t pid, const char *name,
+            double value)
+    {
+        record({ts, TracePhase::Counter, pid, traceCounterTrack,
+                name, 0, value});
+    }
+    /** @} */
+
+    /** @name Introspection @{ */
+    const std::vector<TraceEvent> &events() const { return buf_; }
+    std::size_t capacity() const { return cap_; }
+    /** Events rejected because the buffer was full. */
+    std::uint64_t dropped() const { return dropped_; }
+    /** Events accepted into the buffer. */
+    std::uint64_t recorded() const { return buf_.size(); }
+    /** @} */
+
+    /** Drop all events and reset the drop counter. */
+    void clear();
+
+    /** @name The installed (active) sink @{ */
+    static TraceSink *active() { return active_; }
+    /** Install @p s as the process-wide sink (nullptr disables). */
+    static void install(TraceSink *s) { active_ = s; }
+    /** @} */
+
+  private:
+    std::vector<TraceEvent> buf_;
+    std::size_t cap_;
+    std::uint64_t dropped_ = 0;
+
+    static TraceSink *active_;
+};
+
+/**
+ * RAII installer: installs a sink for one scope (an experiment run)
+ * and restores the previous one on exit.
+ */
+class ScopedTrace
+{
+  public:
+    explicit ScopedTrace(TraceSink &sink) : prev_(TraceSink::active())
+    {
+        TraceSink::install(&sink);
+    }
+    ~ScopedTrace() { TraceSink::install(prev_); }
+
+    ScopedTrace(const ScopedTrace &) = delete;
+    ScopedTrace &operator=(const ScopedTrace &) = delete;
+
+  private:
+    TraceSink *prev_;
+};
+
+/**
+ * @name Request-lifecycle helpers
+ * State spans are async events keyed by the request id, named after
+ * the state, on the request's current server/village — so one root
+ * request (and its RPC children, which have their own ids) can be
+ * walked across villages and servers in the trace viewer.
+ * @{
+ */
+
+/** The request was created and bound to server @p pid. */
+void traceReqCreated(Tick ts, const ServiceRequest &req,
+                     std::uint32_t pid);
+
+/**
+ * The request is about to move from its current state to @p next.
+ * Call immediately BEFORE assigning req.state. Ends the current
+ * state's span; begins @p next's (terminal states instead emit an
+ * instant so every begun span is ended).
+ */
+void traceReqTransition(Tick ts, const ServiceRequest &req,
+                        ReqState next);
+/** @} */
+
+} // namespace umany
+
+#endif // UMANY_OBS_TRACE_HH

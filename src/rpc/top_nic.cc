@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
+
 namespace umany
 {
 
@@ -20,6 +22,9 @@ TopLevelNic::ingress(Tick now, std::uint32_t bytes)
 {
     ++in_;
     inBytes_ += bytes;
+    UMANY_TRACE(TraceSink::active()->instant(
+        now, tracePid_, traceNicTrack, "nic.ingress", 0,
+        static_cast<double>(bytes)));
     Tick done = occupy(now, bytes, inFree_);
     if (p_.hardwareDispatch) {
         done += cyclesToTicks(
@@ -33,6 +38,9 @@ TopLevelNic::egress(Tick now, std::uint32_t bytes)
 {
     ++out_;
     outBytes_ += bytes;
+    UMANY_TRACE(TraceSink::active()->instant(
+        now, tracePid_, traceNicTrack, "nic.egress", 0,
+        static_cast<double>(bytes)));
     return occupy(now, bytes, outFree_);
 }
 

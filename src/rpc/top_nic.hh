@@ -52,6 +52,9 @@ class TopLevelNic
     /** One-way external wire latency (for callers). */
     Tick extLatency() const { return p_.extLatency; }
 
+    /** Server id used as the pid of emitted trace events. */
+    void setTracePid(std::uint32_t pid) { tracePid_ = pid; }
+
     std::uint64_t ingressMsgs() const { return in_; }
     std::uint64_t egressMsgs() const { return out_; }
     std::uint64_t ingressBytes() const { return inBytes_; }
@@ -59,6 +62,7 @@ class TopLevelNic
 
   private:
     TopNicParams p_;
+    std::uint32_t tracePid_ = 0;
     Tick inFree_ = 0;
     Tick outFree_ = 0;
     std::uint64_t in_ = 0;

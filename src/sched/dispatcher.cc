@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
+
 namespace umany
 {
 
@@ -17,6 +19,15 @@ SwDispatcher::process(Tick now, Cycles cycles)
     const Tick start = std::max(now, free_);
     const Tick cost =
         cyclesToTicks(static_cast<double>(cycles), p_.ghz);
+    // The serialized scheduler core is itself a bottleneck worth
+    // seeing in traces: emit its busy window as a duration span.
+    UMANY_TRACE({
+        TraceSink *s = TraceSink::active();
+        s->durBegin(start, tracePid_, traceDispatcherTrack,
+                    "dispatch", 0);
+        s->durEnd(start + cost, tracePid_, traceDispatcherTrack,
+                  "dispatch", 0);
+    });
     free_ = start + cost;
     busyTime_ += cost;
     ++ops_;

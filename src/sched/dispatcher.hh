@@ -48,8 +48,12 @@ class SwDispatcher
     /** Utilization over [0, now]. */
     double utilization(Tick now) const;
 
+    /** Server id used as the pid of emitted trace events. */
+    void setTracePid(std::uint32_t pid) { tracePid_ = pid; }
+
   private:
     DispatcherParams p_;
+    std::uint32_t tracePid_ = 0;
     Tick free_ = 0;
     std::uint64_t ops_ = 0;
     Tick busyTime_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace umany
@@ -92,6 +93,9 @@ SwQueueSystem::enqueue(std::uint32_t q, std::uint64_t seq,
     if (q >= p_.numQueues)
         panic("enqueue to bad queue %u", q);
     queues_[q].ready.insert(seq, req);
+    UMANY_TRACE(TraceSink::active()->instant(
+        now, tracePid_, traceSwqTrack(q), "swq.enqueue", 0,
+        static_cast<double>(queues_[q].ready.size())));
     return lockOp(q, now, 0);
 }
 
@@ -101,6 +105,11 @@ SwQueueSystem::dequeue(CoreId core, Tick now, Tick &done)
     const std::uint32_t home = queueOfCore(core);
     done = lockOp(home, now, 0);
     ServiceRequest *req = queues_[home].ready.popFront();
+    if (req != nullptr) {
+        UMANY_TRACE(TraceSink::active()->instant(
+            now, tracePid_, traceSwqTrack(home), "swq.dequeue", 0,
+            static_cast<double>(queues_[home].ready.size())));
+    }
     if (req != nullptr || !p_.workStealing)
         return req;
 
@@ -114,6 +123,10 @@ SwQueueSystem::dequeue(CoreId core, Tick now, Tick &done)
         req = queues_[victim].ready.popBack();
         if (req != nullptr) {
             ++steals_;
+            UMANY_TRACE(TraceSink::active()->instant(
+                now, tracePid_, traceSwqTrack(victim), "swq.steal",
+                0,
+                static_cast<double>(queues_[victim].ready.size())));
             return req;
         }
     }

@@ -114,9 +114,13 @@ class SwQueueSystem
     std::uint64_t steals() const { return steals_; }
     Tick lockWaitTotal() const { return lockWait_; }
 
+    /** Server id used as the pid of emitted trace events. */
+    void setTracePid(std::uint32_t pid) { tracePid_ = pid; }
+
   private:
     SwQueueParams p_;
     Rng rng_;
+    std::uint32_t tracePid_ = 0;
 
     struct Queue
     {

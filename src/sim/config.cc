@@ -11,7 +11,11 @@ void
 Config::parseArgs(int argc, char **argv)
 {
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+        std::string arg = argv[i];
+        // GNU-style flags are accepted as sugar: "--trace-out=x" is
+        // the same key as "trace_out=x".
+        if (arg.rfind("--", 0) == 0)
+            arg = arg.substr(2);
         const auto eq = arg.find('=');
         if (eq == std::string::npos || eq == 0) {
             fatal("bad argument '%s': expected key=value", arg.c_str());
@@ -23,7 +27,12 @@ Config::parseArgs(int argc, char **argv)
 void
 Config::set(const std::string &key, const std::string &value)
 {
-    values_[key] = value;
+    std::string k = key;
+    for (char &c : k) {
+        if (c == '-')
+            c = '_';
+    }
+    values_[k] = value;
 }
 
 bool

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "arch/cluster_sim.hh"
+#include "obs/json.hh"
 #include "sim/logging.hh"
 
 namespace umany
@@ -47,6 +48,24 @@ StatsDump::format() const
                          e.value, e.desc.c_str());
     }
     return out;
+}
+
+std::string
+StatsDump::formatJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("stats").beginArray();
+    for (const StatEntry &e : entries_) {
+        w.beginObject();
+        w.key("name").value(e.name);
+        w.key("value").value(e.value);
+        w.key("desc").value(e.desc);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
 }
 
 StatsDump

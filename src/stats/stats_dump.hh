@@ -48,6 +48,13 @@ class StatsDump
      */
     std::string format() const;
 
+    /**
+     * Render as a JSON array of {name, value, desc} objects (under a
+     * top-level "stats" key) so runs can be diffed mechanically;
+     * values are numerically identical to format()/value().
+     */
+    std::string formatJson() const;
+
   private:
     std::vector<StatEntry> entries_;
 };
