@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Allocation-counting hook for the kernel benches: replaces the
+ * global operator new/delete with counting forwarders so a bench can
+ * report allocations per event. Include from exactly one translation
+ * unit per binary (it defines the replaceable global operators).
+ *
+ * Not linked into the library or tests — replacement operators are a
+ * whole-binary decision and would fight the sanitizer interceptors.
+ */
+
+#ifndef UMANY_BENCH_ALLOC_COUNT_HH
+#define UMANY_BENCH_ALLOC_COUNT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace umany::bench
+{
+
+inline std::atomic<std::uint64_t> allocCount{0};
+
+/** Allocations observed since process start. */
+inline std::uint64_t
+allocsNow()
+{
+    return allocCount.load(std::memory_order_relaxed);
+}
+
+} // namespace umany::bench
+
+void *
+operator new(std::size_t size)
+{
+    umany::bench::allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+#endif // UMANY_BENCH_ALLOC_COUNT_HH

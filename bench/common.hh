@@ -15,6 +15,7 @@
 #include "arch/presets.hh"
 #include "driver/experiment.hh"
 #include "driver/report.hh"
+#include "driver/sweep.hh"
 #include "sim/config.hh"
 #include "sim/logging.hh"
 #include "stats/table.hh"
@@ -56,6 +57,13 @@ struct BenchArgs
      *   --trace-capacity=N       TraceSink size in events
      */
     ObsConfig obs;
+    /**
+     * Worker threads for independent sweep points:
+     *   --jobs=N   (default: hardware concurrency, clamped to
+     *              [1, SweepRunner::maxJobs])
+     * Report output is identical for every N; see EXPERIMENTS.md.
+     */
+    unsigned jobs = 0;
 
     void
     parse(int argc, char **argv)
@@ -68,8 +76,42 @@ struct BenchArgs
         seed = static_cast<std::uint64_t>(
             cfg.getInt("seed", static_cast<std::int64_t>(seed)));
         obs = obsFromConfig(cfg);
+        jobs = SweepRunner::clampJobs(cfg.getInt("jobs", 0));
     }
 };
+
+/**
+ * Give a per-run artifact path a per-point suffix ("out.json" ->
+ * "out.pt3.json") so the points of one sweep do not overwrite each
+ * other's files. Applied whenever a sweep has more than one point —
+ * independent of --jobs, so filenames are deterministic too.
+ */
+inline std::string
+pointPath(const std::string &path, std::size_t point,
+          std::size_t npoints)
+{
+    if (path.empty() || npoints <= 1)
+        return path;
+    const std::string tag = ".pt" + std::to_string(point);
+    const std::size_t dot = path.rfind('.');
+    const std::size_t slash = path.rfind('/');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return path + tag;
+    }
+    return path.substr(0, dot) + tag + path.substr(dot);
+}
+
+/** The ObsConfig for one point of an @p npoints -point sweep. */
+inline ObsConfig
+obsForPoint(const ObsConfig &obs, std::size_t point,
+            std::size_t npoints)
+{
+    ObsConfig o = obs;
+    o.traceOut = pointPath(obs.traceOut, point, npoints);
+    o.statsJson = pointPath(obs.statsJson, point, npoints);
+    return o;
+}
 
 /** Build an evaluation-config for one machine at one load. */
 inline ExperimentConfig

@@ -37,17 +37,32 @@ main(int argc, char **argv)
         };
     const std::vector<double> loads = {5000.0, 10000.0, 15000.0};
 
-    // runs[load][machine]
-    std::vector<std::vector<RunMetrics>> runs;
-    for (const double rps : loads) {
-        runs.emplace_back();
-        for (const auto &[name, mp] : machines) {
+    // One sweep point per (load, machine); points are independent,
+    // so they fan out over --jobs threads. Results come back in
+    // sweep order, keeping the report identical for any job count.
+    const std::size_t npoints = loads.size() * machines.size();
+    SweepRunner runner(args.jobs);
+    const std::vector<RunMetrics> flat =
+        runner.map<RunMetrics>(npoints, [&](std::size_t i) {
+            const double rps = loads[i / machines.size()];
+            const auto &[name, mp] = machines[i % machines.size()];
             std::fprintf(stderr, "running %s @ %.0f RPS/server...\n",
                          name.c_str(), rps);
-            runs.back().push_back(runExperiment(
-                catalog,
-                evalConfig(mp, rps, args, ArrivalKind::Bursty)));
-        }
+            ExperimentConfig cfg =
+                evalConfig(mp, rps, args, ArrivalKind::Bursty);
+            cfg.obs = obsForPoint(args.obs, i, npoints);
+            return runExperiment(catalog, cfg);
+        });
+
+    // runs[load][machine]
+    std::vector<std::vector<RunMetrics>> runs;
+    for (std::size_t l = 0; l < loads.size(); ++l) {
+        runs.emplace_back(flat.begin() +
+                              static_cast<std::ptrdiff_t>(
+                                  l * machines.size()),
+                          flat.begin() +
+                              static_cast<std::ptrdiff_t>(
+                                  (l + 1) * machines.size()));
     }
 
     const std::vector<std::string> names = {"ServerClass", "ScaleOut",

@@ -34,12 +34,16 @@ main(int argc, char **argv)
         {"+hw-cs (uManycore)", ablationHwCs()},
     };
 
-    std::vector<RunMetrics> runs;
-    for (const auto &[name, mp] : ladder) {
-        std::fprintf(stderr, "running %s...\n", name.c_str());
-        runs.push_back(runExperiment(
-            catalog, evalConfig(mp, rps, args, ArrivalKind::Bursty)));
-    }
+    SweepRunner runner(args.jobs);
+    const std::vector<RunMetrics> runs =
+        runner.map<RunMetrics>(ladder.size(), [&](std::size_t i) {
+            const auto &[name, mp] = ladder[i];
+            std::fprintf(stderr, "running %s...\n", name.c_str());
+            ExperimentConfig cfg =
+                evalConfig(mp, rps, args, ArrivalKind::Bursty);
+            cfg.obs = obsForPoint(args.obs, i, ladder.size());
+            return runExperiment(catalog, cfg);
+        });
 
     Table t({"configuration", "P99 (ms)", "cumulative reduction",
              "paper"});

@@ -40,22 +40,29 @@ main(int argc, char **argv)
         args.cfg.getInt("servers", 4));
     search.measure = fromMs(args.cfg.getDouble("measure_ms", 150.0));
 
-    std::vector<double> max_rps;
-    for (const auto &[name, mp] : machines) {
-        std::fprintf(stderr, "QoS search for %s...\n", name.c_str());
-        ExperimentConfig base =
-            evalConfig(mp, 0.0, search, ArrivalKind::Bursty);
-        QosSearchConfig qcfg;
-        qcfg.loRps = args.cfg.getDouble("lo_rps", 2000.0);
-        qcfg.hiRps = args.cfg.getDouble("hi_rps", 400000.0);
-        qcfg.iterations = static_cast<std::uint32_t>(
-            args.cfg.getInt("iters", 8));
-        const QosResult r =
-            findMaxQosThroughput(catalog, base, qcfg);
-        max_rps.push_back(r.maxRpsPerServer);
-        std::fprintf(stderr, "  -> %.0f RPS/server (viol %.3f)\n",
-                     r.maxRpsPerServer, r.violationRateAtMax);
-    }
+    // Each machine's whole binary search is one sweep point: the
+    // iterations inside a search are sequential (each depends on the
+    // last verdict), but the three searches are independent.
+    SweepRunner runner(args.jobs);
+    const std::vector<double> max_rps =
+        runner.map<double>(machines.size(), [&](std::size_t i) {
+            const auto &[name, mp] = machines[i];
+            std::fprintf(stderr, "QoS search for %s...\n",
+                         name.c_str());
+            ExperimentConfig base =
+                evalConfig(mp, 0.0, search, ArrivalKind::Bursty);
+            base.obs = obsForPoint(args.obs, i, machines.size());
+            QosSearchConfig qcfg;
+            qcfg.loRps = args.cfg.getDouble("lo_rps", 2000.0);
+            qcfg.hiRps = args.cfg.getDouble("hi_rps", 400000.0);
+            qcfg.iterations = static_cast<std::uint32_t>(
+                args.cfg.getInt("iters", 8));
+            const QosResult r =
+                findMaxQosThroughput(catalog, base, qcfg);
+            std::fprintf(stderr, "  -> %.0f RPS/server (viol %.3f)\n",
+                         r.maxRpsPerServer, r.violationRateAtMax);
+            return r.maxRpsPerServer;
+        });
 
     Table t({"machine", "max RPS/server", "normalized to ServerClass",
              "paper"});

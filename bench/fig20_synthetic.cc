@@ -37,26 +37,37 @@ main(int argc, char **argv)
                                           SynthDist::Bimodal};
     const std::vector<double> loads = {5000.0, 10000.0, 15000.0};
 
+    // Sweep points: (dist, load, machine), machine fastest. Every
+    // point builds its own catalog so points share nothing.
+    const std::size_t nm = machines.size();
+    const std::size_t npoints = dists.size() * loads.size() * nm;
+    SweepRunner runner(args.jobs);
+    const std::vector<double> p99s =
+        runner.map<double>(npoints, [&](std::size_t i) {
+            const SynthDist d = dists[i / (loads.size() * nm)];
+            const double rps = loads[(i / nm) % loads.size()];
+            const auto &[name, mp] = machines[i % nm];
+            std::fprintf(stderr, "%s %s @%.0f...\n", synthDistName(d),
+                         name.c_str(), rps);
+            SyntheticParams sp;
+            sp.dist = d;
+            const ServiceCatalog catalog = buildSynthetic(sp);
+            ExperimentConfig cfg =
+                evalConfig(mp, rps, args, ArrivalKind::Bursty);
+            cfg.obs = obsForPoint(args.obs, i, npoints);
+            return runExperiment(catalog, cfg).overall.p99Ms;
+        });
+
     Table t({"workload", "ServerClass P99 (ms)", "ScaleOut (norm)",
              "uManycore (norm)"});
     Summary red_sc;
     Summary red_so;
-    for (const SynthDist d : dists) {
-        SyntheticParams sp;
-        sp.dist = d;
-        const ServiceCatalog catalog = buildSynthetic(sp);
-        for (const double rps : loads) {
-            std::vector<double> p99;
-            for (const auto &[name, mp] : machines) {
-                std::fprintf(stderr, "%s %s @%.0f...\n",
-                             synthDistName(d), name.c_str(), rps);
-                const RunMetrics m = runExperiment(
-                    catalog,
-                    evalConfig(mp, rps, args, ArrivalKind::Bursty));
-                p99.push_back(m.overall.p99Ms);
-            }
-            t.addRow({strprintf("%s%.0fK", synthDistName(d),
-                                rps / 1000.0),
+    for (std::size_t di = 0; di < dists.size(); ++di) {
+        for (std::size_t li = 0; li < loads.size(); ++li) {
+            const double *p99 =
+                &p99s[(di * loads.size() + li) * nm];
+            t.addRow({strprintf("%s%.0fK", synthDistName(dists[di]),
+                                loads[li] / 1000.0),
                       Table::num(p99[0], 3),
                       Table::num(p99[1] / p99[0], 3),
                       Table::num(p99[2] / p99[0], 3)});

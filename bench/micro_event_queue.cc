@@ -1,69 +1,255 @@
 /**
  * @file
- * Microbenchmarks of the simulation kernel: event scheduling and
+ * Microbenchmark of the simulation kernel: event scheduling and
  * dispatch throughput — the bound on overall simulator speed.
+ *
+ * Runs every pattern against both the current kernel (InlineFunction
+ * callbacks + 4-ary index heap) and the pre-optimization reference
+ * kernel (std::function over std::priority_queue, kept here as
+ * LegacyEventQueue) so before/after numbers come from one binary and
+ * one harness. Reports events/sec and allocations/event (via the
+ * global operator-new counting hook).
  */
 
-#include <benchmark/benchmark.h>
+#include "bench/alloc_count.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <queue>
 
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+#include "stats/table.hh"
 
+namespace umany::bench
+{
 namespace
 {
 
-void
-BM_ScheduleAndDrain(benchmark::State &state)
+/** The seed kernel, verbatim: the "before" in before/after. */
+class LegacyEventQueue
 {
-    const std::int64_t n = state.range(0);
-    for (auto _ : state) {
-        umany::EventQueue eq;
-        for (std::int64_t i = 0; i < n; ++i)
-            eq.schedule(static_cast<umany::Tick>(i), []() {});
-        eq.run();
-        benchmark::DoNotOptimize(eq.dispatched());
-    }
-    state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_ScheduleAndDrain)->Arg(1024)->Arg(65536);
+  public:
+    using Callback = std::function<void()>;
 
-void
-BM_RandomOrderDispatch(benchmark::State &state)
-{
-    const std::int64_t n = state.range(0);
-    umany::Rng rng(1);
-    for (auto _ : state) {
-        umany::EventQueue eq;
-        for (std::int64_t i = 0; i < n; ++i) {
-            eq.schedule(rng.below(1000000), []() {});
+    Tick now() const { return _now; }
+
+    void
+    schedule(Tick when, Callback cb)
+    {
+        heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+    }
+
+    void
+    scheduleAfter(Tick delta, Callback cb)
+    {
+        schedule(_now + delta, std::move(cb));
+    }
+
+    std::uint64_t dispatched() const { return dispatched_; }
+
+    bool
+    step()
+    {
+        if (heap_.empty())
+            return false;
+        Entry e = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        _now = e.when;
+        ++dispatched_;
+        e.cb();
+        return true;
+    }
+
+    void
+    run()
+    {
+        while (step()) {
         }
-        eq.run();
-        benchmark::DoNotOptimize(eq.dispatched());
     }
-    state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_RandomOrderDispatch)->Arg(65536);
 
-void
-BM_SelfRescheduling(benchmark::State &state)
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick _now = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t dispatched_ = 0;
+};
+
+/**
+ * A capture shape representative of the simulator's events: a this
+ * pointer, a request pointer, and two ids (see arch/machine.cc) —
+ * small enough for the inline buffer, too big for libstdc++'s
+ * std::function SBO.
+ */
+struct Payload
 {
-    // The common simulator pattern: one event chain rescheduling
-    // itself (e.g. a load generator).
-    for (auto _ : state) {
-        umany::EventQueue eq;
-        std::uint64_t count = 0;
-        std::function<void()> tick = [&]() {
-            if (++count < 10000)
-                eq.scheduleAfter(10, tick);
-        };
-        eq.schedule(0, tick);
-        eq.run();
-        benchmark::DoNotOptimize(count);
+    void *a;
+    void *b;
+    std::uint64_t x;
+    std::uint64_t y;
+};
+
+std::uint64_t sinkValue;
+
+template <typename Queue>
+void
+fifoPattern(Queue &eq, std::int64_t n)
+{
+    Payload p{&eq, &sinkValue, 1, 2};
+    for (std::int64_t i = 0; i < n; ++i) {
+        eq.schedule(static_cast<Tick>(i),
+                    [p]() { sinkValue += p.x; });
     }
-    state.SetItemsProcessed(state.iterations() * 10000);
+    eq.run();
 }
-BENCHMARK(BM_SelfRescheduling);
+
+template <typename Queue>
+void
+randomPattern(Queue &eq, std::int64_t n)
+{
+    Rng rng(1);
+    Payload p{&eq, &sinkValue, 3, 4};
+    for (std::int64_t i = 0; i < n; ++i) {
+        eq.schedule(rng.below(1000000),
+                    [p]() { sinkValue += p.y; });
+    }
+    eq.run();
+}
+
+/**
+ * The common simulator pattern: one event chain rescheduling itself
+ * (e.g. a load generator). The continuation is a self-referencing
+ * struct so both kernels run the identical shape.
+ */
+template <typename Queue>
+void
+chainPattern(Queue &eq, std::int64_t n)
+{
+    struct Chain
+    {
+        Queue &eq;
+        std::int64_t left;
+        void
+        operator()()
+        {
+            if (--left > 0)
+                eq.scheduleAfter(10, Chain{eq, left});
+        }
+    };
+    eq.schedule(0, Chain{eq, n});
+    eq.run();
+}
+
+struct Measurement
+{
+    double eventsPerSec = 0.0;
+    double allocsPerEvent = 0.0;
+};
+
+template <typename Queue, typename Fn>
+Measurement
+measure(Fn &&pattern, std::int64_t n)
+{
+    using clock = std::chrono::steady_clock;
+    constexpr double minSeconds = 0.25;
+    // Warm up once (pulls the pattern's code and the allocator's
+    // arenas in) before the timed repetitions.
+    {
+        Queue eq;
+        pattern(eq, n);
+    }
+    std::uint64_t events = 0;
+    std::uint64_t allocs = 0;
+    double elapsed = 0.0;
+    while (elapsed < minSeconds) {
+        Queue eq;
+        const std::uint64_t a0 = allocsNow();
+        const auto t0 = clock::now();
+        pattern(eq, n);
+        const auto t1 = clock::now();
+        allocs += allocsNow() - a0;
+        elapsed += std::chrono::duration<double>(t1 - t0).count();
+        events += eq.dispatched();
+    }
+    Measurement m;
+    m.eventsPerSec = static_cast<double>(events) / elapsed;
+    m.allocsPerEvent = static_cast<double>(allocs) /
+                       static_cast<double>(events);
+    return m;
+}
+
+struct PatternRow
+{
+    const char *name;
+    Measurement legacy;
+    Measurement current;
+};
 
 } // namespace
+} // namespace umany::bench
 
-BENCHMARK_MAIN();
+int
+main()
+{
+    using namespace umany;
+    using namespace umany::bench;
+
+    constexpr std::int64_t n = 65536;
+    constexpr std::int64_t chain = 100000;
+
+    PatternRow rows[] = {
+        {"schedule+drain (64k, fifo)",
+         measure<LegacyEventQueue>(
+             [](auto &eq, std::int64_t c) { fifoPattern(eq, c); }, n),
+         measure<EventQueue>(
+             [](auto &eq, std::int64_t c) { fifoPattern(eq, c); }, n)},
+        {"random-order dispatch (64k)",
+         measure<LegacyEventQueue>(
+             [](auto &eq, std::int64_t c) { randomPattern(eq, c); },
+             n),
+         measure<EventQueue>(
+             [](auto &eq, std::int64_t c) { randomPattern(eq, c); },
+             n)},
+        {"self-rescheduling chain (100k)",
+         measure<LegacyEventQueue>(
+             [](auto &eq, std::int64_t c) { chainPattern(eq, c); },
+             chain),
+         measure<EventQueue>(
+             [](auto &eq, std::int64_t c) { chainPattern(eq, c); },
+             chain)},
+    };
+
+    Table t({"pattern", "kernel", "events/sec", "allocs/event",
+             "speedup"});
+    for (const PatternRow &r : rows) {
+        t.addRow({r.name, "legacy (std::function+pq)",
+                  Table::num(r.legacy.eventsPerSec, 0),
+                  Table::num(r.legacy.allocsPerEvent, 3), "1.00"});
+        t.addRow({r.name, "current (inline+4ary)",
+                  Table::num(r.current.eventsPerSec, 0),
+                  Table::num(r.current.allocsPerEvent, 3),
+                  Table::num(r.current.eventsPerSec /
+                             r.legacy.eventsPerSec)});
+    }
+    std::printf("%s\n", t.format().c_str());
+    return 0;
+}

@@ -86,6 +86,8 @@ class ClusterSim
     Machine &machine(ServerId s) { return servers_[s]->machine(); }
     Server &server(ServerId s) { return *servers_[s]; }
     const ServiceCatalog &catalog() const { return catalog_; }
+    /** The event queue driving this simulation. */
+    const EventQueue &eventq() const { return eq_; }
 
   private:
     EventQueue &eq_;

@@ -1,0 +1,68 @@
+#include "driver/sweep.hh"
+
+#include <atomic>
+#include <thread>
+
+namespace umany
+{
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs == 0 ? hardwareJobs()
+                      : clampJobs(static_cast<std::int64_t>(jobs)))
+{
+}
+
+unsigned
+SweepRunner::hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        return 1;
+    return hw > maxJobs ? maxJobs : hw;
+}
+
+unsigned
+SweepRunner::clampJobs(std::int64_t requested)
+{
+    if (requested <= 0)
+        return hardwareJobs();
+    if (requested > static_cast<std::int64_t>(maxJobs))
+        return maxJobs;
+    return static_cast<unsigned>(requested);
+}
+
+void
+SweepRunner::forEach(std::size_t n,
+                     const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    const std::size_t workers =
+        jobs_ < n ? jobs_ : static_cast<unsigned>(n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    // Work-stealing by atomic ticket: points vary wildly in cost
+    // (saturated configurations simulate many more events), so a
+    // static partition would idle the fast workers.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&]() {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                body(i);
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+}
+
+} // namespace umany

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Parallel sweep execution: independent experiment points (machine
+ * preset x load point x seed) fan out over a small thread pool.
+ *
+ * Each point is self-contained — it builds its own EventQueue,
+ * cluster, and Rng, and the observability layer's active-sink
+ * pointer is thread-local — so points never share mutable state and
+ * per-point results are identical whatever the thread count. Results
+ * are collected by point index (sweep order), which keeps report
+ * output bit-identical between --jobs=1 and --jobs=N; only stderr
+ * progress lines may interleave.
+ */
+
+#ifndef UMANY_DRIVER_SWEEP_HH
+#define UMANY_DRIVER_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace umany
+{
+
+/**
+ * Executes the points of one sweep on up to jobs() worker threads.
+ *
+ * The runner is cheap to construct per sweep; threads live only for
+ * the duration of one map()/forEach() call.
+ */
+class SweepRunner
+{
+  public:
+    /** @param jobs Worker count; 0 means hardwareJobs(). */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    /** Resolved worker count (>= 1). */
+    unsigned jobs() const { return jobs_; }
+
+    /** Hardware concurrency clamped to [1, maxJobs]. */
+    static unsigned hardwareJobs();
+
+    /**
+     * Normalize a user-supplied --jobs value: <= 0 selects
+     * hardwareJobs(), anything else is clamped to [1, maxJobs].
+     */
+    static unsigned clampJobs(std::int64_t requested);
+
+    /** Upper bound on worker threads, however many cores exist. */
+    static constexpr unsigned maxJobs = 64;
+
+    /**
+     * Run @p point for every index in [0, n), collecting results in
+     * index order. @p T must be default-constructible and movable.
+     *
+     * @p point must not touch state shared with other points; it may
+     * panic()/fatal() (which abort the process) but must not throw.
+     */
+    template <typename T>
+    std::vector<T>
+    map(std::size_t n, const std::function<T(std::size_t)> &point)
+    {
+        std::vector<T> out(n);
+        forEach(n, [&](std::size_t i) { out[i] = point(i); });
+        return out;
+    }
+
+    /** Run @p body for every index in [0, n) (no results). */
+    void forEach(std::size_t n,
+                 const std::function<void(std::size_t)> &body);
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace umany
+
+#endif // UMANY_DRIVER_SWEEP_HH

@@ -5,7 +5,7 @@
 namespace umany
 {
 
-TraceSink *TraceSink::active_ = nullptr;
+thread_local TraceSink *TraceSink::active_ = nullptr;
 
 TraceSink::TraceSink(std::size_t capacity) : cap_(capacity)
 {

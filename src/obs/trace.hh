@@ -13,10 +13,12 @@
  * Cost model: tracing must be free when off.
  *  - Compile time: building with -DUMANY_TRACE_DISABLED=1 compiles
  *    every UMANY_TRACE() instrumentation site to nothing.
- *  - Run time: with no sink installed, a site is one static-pointer
- *    load and branch.
- * The simulator is single-threaded (one EventQueue drives a run), so
- * the active-sink pointer is plain process state, not thread-local.
+ *  - Run time: with no sink installed, a site is one thread-local
+ *    pointer load and branch.
+ * One EventQueue drives one run, but parallel sweeps (SweepRunner)
+ * execute independent runs on worker threads concurrently, so the
+ * active-sink pointer is thread-local: each run's sink sees exactly
+ * that run's events, never a sibling point's.
  */
 
 #ifndef UMANY_OBS_TRACE_HH
@@ -203,7 +205,11 @@ class TraceSink
 
     /** @name The installed (active) sink @{ */
     static TraceSink *active() { return active_; }
-    /** Install @p s as the process-wide sink (nullptr disables). */
+    /**
+     * Install @p s as this thread's sink (nullptr disables). The
+     * binding is thread-local so concurrent sweep points trace in
+     * isolation; install on the thread that runs the simulation.
+     */
     static void install(TraceSink *s) { active_ = s; }
     /** @} */
 
@@ -212,7 +218,7 @@ class TraceSink
     std::size_t cap_;
     std::uint64_t dropped_ = 0;
 
-    static TraceSink *active_;
+    static thread_local TraceSink *active_;
 };
 
 /**

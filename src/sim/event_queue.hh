@@ -6,16 +6,23 @@
  * callbacks at absolute or relative ticks; the queue dispatches them
  * in (tick, insertion-order) order, which makes runs deterministic
  * for a fixed seed and schedule.
+ *
+ * Hot-path layout: callbacks are InlineFunction (no heap allocation
+ * for the common capture shapes) stored in a slab whose freed slots
+ * are recycled, and ordering is an open 4-ary heap of 24-byte
+ * (tick, seq, slot) nodes over a reserved vector — sift operations
+ * move small nodes and compare without touching the slab. Every
+ * container keeps its capacity across reset() so repeated runs in
+ * one process do not re-warm the allocator.
  */
 
 #ifndef UMANY_SIM_EVENT_QUEUE_HH
 #define UMANY_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/inline_function.hh"
 #include "sim/types.hh"
 
 namespace umany
@@ -30,9 +37,9 @@ namespace umany
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineFunction<void()>;
 
-    EventQueue() = default;
+    EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -48,7 +55,8 @@ class EventQueue
     void schedule(Tick when, Callback cb);
 
     /** Schedule a callback @p delta ticks in the future. */
-    void scheduleAfter(Tick delta, Callback cb)
+    void
+    scheduleAfter(Tick delta, Callback cb)
     {
         schedule(_now + delta, std::move(cb));
     }
@@ -77,29 +85,50 @@ class EventQueue
     /** Dispatch a single event. @return false if queue was empty. */
     bool step();
 
-    /** Drop all pending events and reset time to zero. */
+    /**
+     * Drop all pending events and reset time to zero. Allocated
+     * capacity is retained (capacity() is unchanged).
+     */
     void reset();
 
+    /** Grow the reserved capacity to at least @p events. */
+    void reserve(std::size_t events);
+
+    /** Events the queue can hold before reallocating (diagnostic). */
+    std::size_t capacity() const { return slab_.capacity(); }
+
   private:
-    struct Entry
+    /**
+     * Heap node: the full sort key plus the slab slot of the
+     * callback. Comparisons and sifts never dereference the slab.
+     */
+    struct Node
     {
         Tick when;
         std::uint64_t seq;
-        Callback cb;
+        std::uint32_t slot;
     };
 
-    struct Later
+    static bool
+    before(const Node &a, const Node &b)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /** Index of the earliest-firing event's slab slot + key. */
+    Node popTop();
+
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
+    static constexpr std::size_t arity = 4;
+    static constexpr std::size_t initialCapacity = 256;
+
+    std::vector<Callback> slab_;        //!< Callback storage.
+    std::vector<std::uint32_t> free_;   //!< Recycled slab slots.
+    std::vector<Node> heap_;            //!< 4-ary min-heap.
     Tick _now = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t dispatched_ = 0;

@@ -73,6 +73,9 @@ collectStats(ClusterSim &sim)
 {
     StatsDump d;
 
+    d.add("sim.events",
+          static_cast<double>(sim.eventq().dispatched()),
+          "kernel events dispatched over the whole run");
     d.add("cluster.roots.completed",
           static_cast<double>(sim.completedRoots()),
           "root requests completed during recording");

@@ -5,7 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "sim/event_queue.hh"
+#include "sim/rng.hh"
 
 namespace umany
 {
@@ -108,6 +113,72 @@ TEST(EventQueue, CountsDispatchedEvents)
         eq.schedule(static_cast<Tick>(i), []() {});
     eq.run();
     EXPECT_EQ(eq.dispatched(), 5u);
+}
+
+TEST(EventQueue, ResetKeepsAllocatedCapacity)
+{
+    EventQueue eq;
+    for (int i = 0; i < 10000; ++i)
+        eq.schedule(static_cast<Tick>(i), []() {});
+    const std::size_t grown = eq.capacity();
+    EXPECT_GE(grown, 10000u);
+    eq.reset();
+    EXPECT_TRUE(eq.empty());
+    // clear, don't free: back-to-back runs in one process must not
+    // re-warm the allocator.
+    EXPECT_EQ(eq.capacity(), grown);
+}
+
+TEST(EventQueue, ReserveGrowsCapacity)
+{
+    EventQueue eq;
+    eq.reserve(5000);
+    EXPECT_GE(eq.capacity(), 5000u);
+}
+
+TEST(EventQueue, SlotRecyclingSurvivesMixedScheduleDispatch)
+{
+    // Interleave schedule/dispatch so freed slab slots are reused
+    // while events are pending, and cross-check the dispatch order
+    // against a sorted reference.
+    EventQueue eq;
+    Rng rng(42);
+    std::vector<std::pair<Tick, int>> expected;
+    std::vector<int> fired;
+    int next_tag = 0;
+    for (int round = 0; round < 50; ++round) {
+        const int burst = static_cast<int>(rng.below(40)) + 1;
+        for (int i = 0; i < burst; ++i) {
+            const Tick when = eq.now() + rng.below(500);
+            const int tag = next_tag++;
+            expected.emplace_back(when, tag);
+            eq.schedule(when, [&fired, tag]() {
+                fired.push_back(tag);
+            });
+        }
+        const int steps = static_cast<int>(rng.below(30));
+        for (int i = 0; i < steps; ++i)
+            eq.step();
+    }
+    eq.run();
+    // (tick, insertion order) — insertion index is the tag itself.
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    ASSERT_EQ(fired.size(), expected.size());
+    for (std::size_t i = 0; i < fired.size(); ++i)
+        EXPECT_EQ(fired[i], expected[i].second) << "index " << i;
+}
+
+TEST(EventQueue, HandlesMoveOnlyCallbacks)
+{
+    EventQueue eq;
+    auto p = std::make_unique<int>(99);
+    int seen = 0;
+    eq.schedule(1, [&seen, q = std::move(p)]() { seen = *q; });
+    eq.run();
+    EXPECT_EQ(seen, 99);
 }
 
 } // namespace
