@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Golden-figure regression (ISSUE 3 tentpole, part 3): re-runs
+ * small, fast configurations of three representative figure
+ * experiments (the Fig 3 queue sweep, the Fig 14 machine
+ * comparison, and the Fig 18 QoS throughput search) and compares
+ * the machine-readable report byte-for-byte against checked-in
+ * goldens in bench/golden/.
+ *
+ * The simulator is deterministic for a fixed seed, so any byte
+ * difference is a behavior change: either a bug, or an intentional
+ * model change — in which case regenerate with --regen and review
+ * the golden diff alongside the code (see EXPERIMENTS.md,
+ * "Validation").
+ *
+ * Usage:
+ *   golden_check [--golden-dir=DIR] [--case=NAME] [--regen]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+#include "driver/qos.hh"
+#include "obs/json.hh"
+
+using namespace umany;
+using namespace umany::bench;
+
+namespace
+{
+
+/** Shared run shape: small cluster, short windows, fixed seed. */
+ExperimentConfig
+smallConfig(const MachineParams &mp, double rps,
+            std::uint32_t servers)
+{
+    ExperimentConfig cfg;
+    cfg.machine = mp;
+    cfg.cluster.numServers = servers;
+    cfg.rpsPerServer = rps;
+    cfg.arrivals = ArrivalKind::Bursty;
+    cfg.warmup = fromMs(5.0);
+    cfg.measure = fromMs(40.0);
+    cfg.seed = 0x5eedull;
+    return cfg;
+}
+
+/** One experiment rendered as a report block: metrics + stats. */
+std::string
+reportBlock(const std::string &label, const ServiceCatalog &catalog,
+            const ExperimentConfig &cfg)
+{
+    StatsDump stats;
+    const RunMetrics m = runExperiment(catalog, cfg, &stats);
+    std::string out;
+    out += "== " + label + " ==\n";
+    out += metricsJson(m);
+    out += "\n";
+    out += stats.formatJson();
+    out += "\n";
+    return out;
+}
+
+/** Fig 3 at small scale: ScaleOut latency vs queue count. */
+std::string
+fig03Small()
+{
+    const ServiceCatalog catalog = buildSocialNetwork();
+    std::string out = "# fig03-small: ScaleOut response time vs "
+                      "queue count (1 server, 10K RPS)\n";
+    for (const std::uint32_t q : {32u, 4u, 1u}) {
+        MachineParams mp = scaleOutParams();
+        mp.swQueueCount = q;
+        mp.randomQueueAssignment = true;
+        mp.icnContention = false;
+        out += reportBlock("queues=" + std::to_string(q), catalog,
+                           smallConfig(mp, 10000.0, 1));
+    }
+    return out;
+}
+
+/** Fig 14 at small scale: the three machines at one load. */
+std::string
+fig14Small()
+{
+    const ServiceCatalog catalog = buildSocialNetwork();
+    std::string out = "# fig14-small: machine comparison "
+                      "(2 servers, 5K RPS/server)\n";
+    const std::vector<std::pair<std::string, MachineParams>>
+        machines = {
+            {"ServerClass", serverClassParams()},
+            {"ScaleOut", scaleOutParams()},
+            {"uManycore", uManycoreParams()},
+        };
+    for (const auto &[name, mp] : machines)
+        out += reportBlock(name, catalog,
+                           smallConfig(mp, 5000.0, 2));
+    return out;
+}
+
+/** Fig 18 at small scale: a short QoS throughput search. */
+std::string
+fig18Small()
+{
+    const ServiceCatalog catalog = buildSocialNetwork();
+    std::string out = "# fig18-small: QoS-bounded throughput "
+                      "(uManycore, 1 server, 4 search steps)\n";
+    ExperimentConfig base =
+        smallConfig(uManycoreParams(), 0.0, 1);
+    base.measure = fromMs(30.0);
+    QosSearchConfig qcfg;
+    qcfg.loRps = 2000.0;
+    qcfg.hiRps = 64000.0;
+    qcfg.iterations = 4;
+    const QosResult r = findMaxQosThroughput(catalog, base, qcfg);
+    out += strprintf("max_rps_per_server %.6g\n", r.maxRpsPerServer);
+    out += strprintf("violation_rate_at_max %.6g\n",
+                     r.violationRateAtMax);
+    return out;
+}
+
+struct GoldenCase
+{
+    const char *name;
+    std::string (*run)();
+};
+
+const GoldenCase kCases[] = {
+    {"fig03-small", fig03Small},
+    {"fig14-small", fig14Small},
+    {"fig18-small", fig18Small},
+};
+
+std::string
+readFile(const std::string &path, bool &ok)
+{
+    std::ifstream in(path, std::ios::binary);
+    ok = in.good();
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Point at the first differing line for a human-readable failure. */
+void
+printFirstDiff(const std::string &want, const std::string &got)
+{
+    std::istringstream a(want), b(got);
+    std::string la, lb;
+    int line = 0;
+    while (true) {
+        ++line;
+        const bool ha = static_cast<bool>(std::getline(a, la));
+        const bool hb = static_cast<bool>(std::getline(b, lb));
+        if (!ha && !hb)
+            return;
+        if (!ha || !hb || la != lb) {
+            std::fprintf(stderr, "  first diff at line %d:\n", line);
+            std::fprintf(stderr, "    golden: %s\n",
+                         ha ? la.c_str() : "<eof>");
+            std::fprintf(stderr, "    actual: %s\n",
+                         hb ? lb.c_str() : "<eof>");
+            return;
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string goldenDir = "bench/golden";
+    std::string only;
+    bool regen = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--golden-dir=", 0) == 0)
+            goldenDir = arg.substr(std::strlen("--golden-dir="));
+        else if (arg.rfind("--case=", 0) == 0)
+            only = arg.substr(std::strlen("--case="));
+        else if (arg == "--regen")
+            regen = true;
+        else
+            fatal("unknown argument '%s'", arg.c_str());
+    }
+    setInformEnabled(false);
+
+    int failures = 0;
+    for (const GoldenCase &c : kCases) {
+        if (!only.empty() && only != c.name)
+            continue;
+        const std::string path = goldenDir + "/" + c.name + ".txt";
+        std::fprintf(stderr, "golden case %s...\n", c.name);
+        const std::string got = c.run();
+        if (regen) {
+            writeTextFile(path, got);
+            std::fprintf(stderr, "  regenerated %s (%zu bytes)\n",
+                         path.c_str(), got.size());
+            continue;
+        }
+        bool ok = false;
+        const std::string want = readFile(path, ok);
+        if (!ok) {
+            std::fprintf(stderr,
+                         "  MISSING golden %s (run with --regen)\n",
+                         path.c_str());
+            ++failures;
+            continue;
+        }
+        if (want != got) {
+            std::fprintf(stderr, "  MISMATCH vs %s\n", path.c_str());
+            printFirstDiff(want, got);
+            ++failures;
+            continue;
+        }
+        std::fprintf(stderr, "  ok (%zu bytes)\n", got.size());
+    }
+    if (failures != 0) {
+        std::fprintf(stderr,
+                     "%d golden case(s) failed. If the change is "
+                     "intentional, regenerate with --regen and "
+                     "review the diff (EXPERIMENTS.md, "
+                     "\"Validation\").\n",
+                     failures);
+        return 1;
+    }
+    std::printf("all golden cases match\n");
+    return 0;
+}

@@ -5,6 +5,7 @@
 
 #include "obs/trace.hh"
 #include "sim/logging.hh"
+#include "validate/invariants.hh"
 
 namespace umany
 {
@@ -12,7 +13,9 @@ namespace umany
 ClusterSim::ClusterSim(EventQueue &eq, const ServiceCatalog &catalog,
                        const MachineParams &machine,
                        const ClusterSimParams &p)
-    : eq_(eq), catalog_(catalog), p_(p), rng_(p.seed)
+    : eq_(eq), catalog_(catalog), p_(p),
+      behaviorRng_(streamSeed(p.seed, rngstream::behavior)),
+      placeRng_(streamSeed(p.seed, rngstream::placement))
 {
     if (p_.numServers == 0)
         fatal("cluster needs at least one server");
@@ -24,7 +27,8 @@ ClusterSim::ClusterSim(EventQueue &eq, const ServiceCatalog &catalog,
     servers_.reserve(p_.numServers);
     for (ServerId s = 0; s < p_.numServers; ++s) {
         servers_.push_back(std::make_unique<Server>(
-            eq, s, machine, p_.storage, rng_.next()));
+            eq, s, machine, p_.storage,
+            streamSeed(p_.seed, rngstream::server + s)));
         wireServer(s);
     }
     placeInstances();
@@ -132,7 +136,7 @@ ClusterSim::makeRequest(ServiceId service, ServiceRequest *parent)
 {
     const RequestId id = nextId_++;
     auto req = std::make_unique<ServiceRequest>(
-        id, service, catalog_.makeBehavior(service, rng_));
+        id, service, catalog_.makeBehavior(service, behaviorRng_));
     req->parent = parent;
     req->createdAt = eq_.now();
     ServiceRequest *raw = req.get();
@@ -156,6 +160,7 @@ ClusterSim::destroy(ServiceRequest *req)
         if (total > 0.0)
             reqUtil_.add(running / total);
     }
+    UMANY_INVARIANT(InvariantChecker::active()->onDestroy(*req));
     requests_.erase(req->id());
 }
 
@@ -221,9 +226,9 @@ ClusterSim::handleServiceCall(ServerId s, ServiceRequest *parent,
     // Resolve placement: stay local with probability localCallBias
     // (an instance exists on every server by construction).
     ServerId target = s;
-    if (servers_.size() > 1 && !rng_.chance(p_.localCallBias)) {
+    if (servers_.size() > 1 && !placeRng_.chance(p_.localCallBias)) {
         target = static_cast<ServerId>(
-            rng_.below(servers_.size() - 1));
+            placeRng_.below(servers_.size() - 1));
         if (target >= s)
             ++target;
     }

@@ -93,7 +93,10 @@ class ClusterSim
     EventQueue &eq_;
     const ServiceCatalog &catalog_;
     ClusterSimParams p_;
-    Rng rng_;
+    /** Per-component streams (see streamSeed()): service-time
+     *  behavior draws vs child-call placement. */
+    Rng behaviorRng_;
+    Rng placeRng_;
 
     std::vector<std::unique_ptr<Server>> servers_;
     std::unique_ptr<InterServerNet> interServer_;

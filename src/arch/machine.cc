@@ -8,6 +8,7 @@
 #include "noc/mesh.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
+#include "validate/invariants.hh"
 
 namespace umany
 {
@@ -15,7 +16,8 @@ namespace umany
 Machine::Machine(std::string name, EventQueue &eq,
                  const MachineParams &p, ServerId self,
                  std::uint64_t seed)
-    : SimObject(std::move(name), eq), p_(p), self_(self), rng_(seed),
+    : SimObject(std::move(name), eq), p_(p), self_(self),
+      seed_(seed), rng_(streamSeed(seed, rngstream::coherence)),
       coherence_(p.coherence)
 {
     if (p_.numCores == 0 || p_.coresPerVillage == 0 ||
@@ -32,6 +34,17 @@ Machine::Machine(std::string name, EventQueue &eq,
     }
     buildTopology();
     buildStructure();
+    UMANY_INVARIANT({
+        InvariantChecker *ic = InvariantChecker::active();
+        // Qualified: the ctor's `name` parameter shadows the accessor.
+        ic->addAuditor(SimObject::name(), [this](InvariantChecker &c) {
+            auditInvariants(c, false);
+        });
+        ic->addFinalAuditor(SimObject::name(),
+                            [this](InvariantChecker &c) {
+            auditInvariants(c, true);
+        });
+    });
 }
 
 Machine::~Machine() = default;
@@ -84,8 +97,9 @@ Machine::buildTopology()
       }
     }
 
-    net_ = std::make_unique<Network>(name() + ".net", eventq(),
-                                     *topo_, rng_.next());
+    net_ = std::make_unique<Network>(
+        name() + ".net", eventq(), *topo_,
+        streamSeed(seed_, rngstream::network));
     net_->setContention(p_.icnContention);
     net_->setTracePid(self_);
 }
@@ -148,7 +162,8 @@ Machine::buildStructure()
         sp.workStealing = p_.workStealing;
         sp.stealAttempts = p_.stealAttempts;
         sp.ghz = p_.core.ghz;
-        swq_ = std::make_unique<SwQueueSystem>(sp, rng_.next());
+        swq_ = std::make_unique<SwQueueSystem>(
+            sp, streamSeed(seed_, rngstream::swqueue));
         swq_->setTracePid(self_);
     }
     // The centralized software scheduler core exists whenever
@@ -166,7 +181,8 @@ Machine::buildStructure()
     tp.hardwareDispatch = p_.sched == MachineParams::Sched::HwRq;
     topNic_ = std::make_unique<TopLevelNic>(tp);
     topNic_->setTracePid(self_);
-    rnic_ = std::make_unique<RNicTransport>(p_.rnic, rng_.next());
+    rnic_ = std::make_unique<RNicTransport>(
+        p_.rnic, streamSeed(seed_, rngstream::rnic));
 
     // All cores start idle.
     for (CoreId c = 0; c < p_.numCores; ++c)
@@ -298,6 +314,7 @@ Machine::enqueueFresh(ServiceRequest *req)
                                    ReqState::Queued));
     req->state = ReqState::Queued;
     req->enqueuedAt = curTick();
+    UMANY_INVARIANT(InvariantChecker::active()->onEnqueue(*req));
     const VillageId v = req->village;
 
     if (p_.sched == MachineParams::Sched::HwRq) {
@@ -327,6 +344,7 @@ Machine::reEnqueue(ServiceRequest *req)
                                    ReqState::Ready));
     req->state = ReqState::Ready;
     req->enqueuedAt = curTick();
+    UMANY_INVARIANT(InvariantChecker::active()->onEnqueue(*req));
     const VillageId v = req->village;
 
     if (p_.sched == MachineParams::Sched::HwRq) {
@@ -383,6 +401,7 @@ Machine::startRun(CoreId core, ServiceRequest *req, Tick ready_at)
     UMANY_TRACE(traceReqTransition(curTick(), *req,
                                    ReqState::Running));
     req->state = ReqState::Running;
+    UMANY_INVARIANT(InvariantChecker::active()->onDequeue(*req));
 
     Tick t = ready_at;
     // Context restore (Dequeue uploads state in hardware; software
@@ -509,6 +528,7 @@ Machine::segmentDone(CoreId core, ServiceRequest *req)
     });
     req->state = ReqState::Blocked;
     req->pendingChildren = static_cast<std::uint32_t>(group.size());
+    UMANY_INVARIANT(InvariantChecker::active()->onBlock(*req));
     req->blockedGroup = req->segIndex;
     req->segIndex += 1;
     req->contextSwitches += 1;
@@ -568,6 +588,7 @@ Machine::finishRequest(ServiceRequest *req, VillageId v)
                                    ReqState::Finished));
     req->state = ReqState::Finished;
     req->finishedAt = curTick();
+    UMANY_INVARIANT(InvariantChecker::active()->onComplete(*req));
     ++completed_;
     villages_[v].nic->countTx();
 
@@ -702,6 +723,7 @@ Machine::rejectRequest(ServiceRequest *req)
                                    ReqState::Rejected));
     req->state = ReqState::Rejected;
     req->finishedAt = curTick();
+    UMANY_INVARIANT(InvariantChecker::active()->onReject(*req));
     // An error response still flows back so callers never hang; it
     // is small and cheap.
     req->respBytes = 128;
@@ -768,6 +790,108 @@ Machine::contextSwitches() const
     for (const Core &c : cores_)
         total += c.switches();
     return total;
+}
+
+void
+Machine::auditInvariants(InvariantChecker &ic, bool final) const
+{
+    const Tick now = curTick();
+
+    if (p_.sched == MachineParams::Sched::HwRq) {
+        for (std::size_t v = 0; v < villages_.size(); ++v) {
+            const HwRq &rq = *villages_[v].rq;
+            ic.expect(rq.readyCount() <= rq.inFlight(),
+                      "%s village %zu: %zu ready entries exceed %u "
+                      "in flight",
+                      name().c_str(), v, rq.readyCount(),
+                      rq.inFlight());
+            ic.expect(rq.inFlight() <= rq.params().entries,
+                      "%s village %zu: RQ occupancy %u exceeds %u "
+                      "entries",
+                      name().c_str(), v, rq.inFlight(),
+                      rq.params().entries);
+            ic.expect(rq.admitted() ==
+                          rq.completes() + rq.inFlight(),
+                      "%s village %zu: admission arithmetic broken "
+                      "(%llu admitted != %llu completes + %u in "
+                      "flight)",
+                      name().c_str(), v,
+                      static_cast<unsigned long long>(rq.admitted()),
+                      static_cast<unsigned long long>(rq.completes()),
+                      rq.inFlight());
+            ic.expect(rq.bufferedCount() <=
+                          rq.params().nicBufferEntries,
+                      "%s village %zu: NIC buffer overfull (%zu)",
+                      name().c_str(), v, rq.bufferedCount());
+            for (const CoreId c : rq.idleCores()) {
+                ic.expect(!cores_[c].busy(),
+                          "%s: idle-registered core %u has Work set",
+                          name().c_str(), c);
+            }
+        }
+    } else {
+        std::size_t per_queue = 0;
+        for (std::uint32_t q = 0; q < swq_->params().numQueues; ++q)
+            per_queue += swq_->queueLength(q);
+        ic.expect(per_queue == swq_->totalReady(),
+                  "%s: per-queue lengths sum to %zu but %zu total "
+                  "ready",
+                  name().c_str(), per_queue, swq_->totalReady());
+        for (CoreId c = 0; c < p_.numCores; ++c) {
+            if (swq_->idleRegistered(c)) {
+                ic.expect(!cores_[c].busy(),
+                          "%s: idle-registered core %u has Work set",
+                          name().c_str(), c);
+            }
+        }
+    }
+
+    if (dispatcher_) {
+        ic.expect(dispatcher_->busyTime() <= dispatcher_->freeAt(),
+                  "%s: dispatcher busy time %llu exceeds its "
+                  "serialization frontier %llu",
+                  name().c_str(),
+                  static_cast<unsigned long long>(
+                      dispatcher_->busyTime()),
+                  static_cast<unsigned long long>(
+                      dispatcher_->freeAt()));
+    }
+
+    // Link occupancy can run ahead of the clock only up to the
+    // reserved busy-until frontier; at quiescence this degenerates
+    // to utilization <= 1.0.
+    const auto &links = topo_->links();
+    const auto &states = net_->linkStates();
+    for (std::size_t i = 0; i < states.size(); ++i) {
+        const Tick cap = std::max(now, states[i].busyUntil);
+        ic.expect(states[i].busyTime <= cap,
+                  "%s link %s: occupancy %llu exceeds bound %llu "
+                  "(utilization > 1.0)",
+                  name().c_str(), links[i].label.c_str(),
+                  static_cast<unsigned long long>(
+                      states[i].busyTime),
+                  static_cast<unsigned long long>(cap));
+    }
+    ic.expect(net_->messagesDelivered() <= net_->messagesSent(),
+              "%s: delivered %llu messages but sent only %llu",
+              name().c_str(),
+              static_cast<unsigned long long>(
+                  net_->messagesDelivered()),
+              static_cast<unsigned long long>(net_->messagesSent()));
+
+    if (final) {
+        ic.expect(net_->messagesSent() == net_->messagesDelivered(),
+                  "%s: %llu flights never delivered",
+                  name().c_str(),
+                  static_cast<unsigned long long>(
+                      net_->messagesSent() -
+                      net_->messagesDelivered()));
+        for (CoreId c = 0; c < p_.numCores; ++c) {
+            ic.expect(!cores_[c].busy(),
+                      "%s: core %u still busy after drain",
+                      name().c_str(), c);
+        }
+    }
 }
 
 double

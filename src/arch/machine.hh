@@ -36,6 +36,8 @@
 namespace umany
 {
 
+class InvariantChecker;
+
 /** Full configuration of one machine. */
 struct MachineParams
 {
@@ -213,6 +215,10 @@ class Machine : public SimObject
   private:
     MachineParams p_;
     ServerId self_;
+    std::uint64_t seed_;
+    /** Coherence-traffic destination picks; the network, software
+     *  queue system, and RNIC each get their own salted stream so
+     *  subsystems cannot perturb each other's draws. */
     Rng rng_;
 
     std::unique_ptr<Topology> topo_;
@@ -266,6 +272,16 @@ class Machine : public SimObject
     /** Send an ICN message and run @p fn on delivery. */
     void sendIcn(EndpointId src, EndpointId dst, std::uint32_t bytes,
                  MsgClass cls, Network::DeliverFn fn);
+
+    /**
+     * Structural conservation laws audited by the invariant checker
+     * (registered at construction when a checker is active):
+     * RQ occupancy arithmetic, idle-registry vs core Work flags,
+     * dispatcher serialization, and link occupancy bounds. With
+     * @p final set, additionally requires full network quiescence
+     * and all cores idle.
+     */
+    void auditInvariants(InvariantChecker &ic, bool final) const;
 
     std::uint32_t queueOfVillage(VillageId v) const;
     bool sameL2(CoreId a, CoreId b) const;

@@ -7,6 +7,7 @@
 #include "obs/json.hh"
 #include "obs/sampler.hh"
 #include "sim/logging.hh"
+#include "validate/invariants.hh"
 
 namespace umany
 {
@@ -25,6 +26,15 @@ runExperiment(const ServiceCatalog &catalog,
         sink = std::make_unique<TraceSink>(cfg.obs.traceCapacity);
         scope = std::make_unique<ScopedTrace>(*sink);
     }
+
+#if UMANY_INVARIANTS_ENABLED
+    // Debug-buildable conservation checks: every run audits its
+    // queues, dispatcher, and network every N lifecycle events, and
+    // requires full quiescence after a clean drain. Installed before
+    // the cluster so machines can register their auditors.
+    InvariantChecker invariants;
+    ScopedInvariants invariantScope(invariants);
+#endif
 
     EventQueue eq;
     ClusterSim sim(eq, catalog, cfg.machine, cfg.cluster);
@@ -65,6 +75,14 @@ runExperiment(const ServiceCatalog &catalog,
              static_cast<unsigned long long>(
                  sim.requestsInFlight()));
     }
+
+#if UMANY_INVARIANTS_ENABLED
+    // Quiescence laws only hold after a clean drain; a truncated
+    // run legitimately leaves requests and flights in flight.
+    if (drained)
+        invariants.finalCheck();
+    invariants.clearAuditors();
+#endif
 
     if (tracing)
         writeChromeTrace(*sink, cfg.obs.traceOut);

@@ -5,6 +5,7 @@
 
 #include "obs/trace.hh"
 #include "sim/logging.hh"
+#include "validate/invariants.hh"
 
 namespace umany
 {
@@ -38,6 +39,7 @@ void
 Network::send(const Message &msg, DeliverFn on_deliver)
 {
     ++sent_;
+    UMANY_INVARIANT(InvariantChecker::active()->onNetSend());
     auto flight = std::make_shared<Flight>();
     flight->msg = msg;
     flight->start = curTick();
@@ -46,6 +48,7 @@ Network::send(const Message &msg, DeliverFn on_deliver)
     if (flight->path.empty()) {
         // Same-endpoint delivery: immediate.
         ++delivered_;
+        UMANY_INVARIANT(InvariantChecker::active()->onNetDeliver());
         latency_.add(0);
         queueDelay_.add(0);
         traceDelivery(*flight);
@@ -90,6 +93,8 @@ Network::hop(std::shared_ptr<Flight> flight)
     eventq().schedule(arrival, [this, f = std::move(flight)]() {
         if (f->hop >= f->path.size()) {
             ++delivered_;
+            UMANY_INVARIANT(
+                InvariantChecker::active()->onNetDeliver());
             latency_.add(curTick() - f->start);
             queueDelay_.add(f->queued);
             traceDelivery(*f);

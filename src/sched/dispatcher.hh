@@ -44,6 +44,9 @@ class SwDispatcher
 
     std::uint64_t ops() const { return ops_; }
     Tick busyTime() const { return busyTime_; }
+    /** Tick at which the serialized resource next frees (invariant:
+     *  accumulated busy time never exceeds this). */
+    Tick freeAt() const { return free_; }
 
     /** Utilization over [0, now]. */
     double utilization(Tick now) const;

@@ -73,6 +73,7 @@ HwRq::complete(ServiceId finished_service)
     if (inFlight_ == 0)
         panic("RQ complete with no in-flight entries");
     --inFlight_;
+    ++completes_;
     if (p_.partitioned) {
         auto it = perService_.find(finished_service);
         if (it != perService_.end() && it->second > 0)

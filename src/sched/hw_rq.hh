@@ -113,6 +113,11 @@ class HwRq
 
     std::uint64_t admitted() const { return admitted_; }
     std::uint64_t rejectedCount() const { return rejected_; }
+    /** Complete instructions executed (conservation: admitted ==
+     *  completes + inFlight at every point). */
+    std::uint64_t completes() const { return completes_; }
+    /** Idle-core registry contents (invariant auditing). */
+    const std::vector<CoreId> &idleCores() const { return idleCores_; }
 
   private:
     HwRqParams p_;
@@ -122,6 +127,7 @@ class HwRq
     std::vector<CoreId> idleCores_;
     std::uint64_t admitted_ = 0;
     std::uint64_t rejected_ = 0;
+    std::uint64_t completes_ = 0;
 
     /** RQ_Map: per-service entry occupancy (partitioned mode). */
     std::vector<ServiceId> services_;

@@ -108,6 +108,13 @@ class SwQueueSystem
     void coreBusy(CoreId core);
     /** An idle core of queue @p q (claimed), or invalidId. */
     CoreId claimIdleCore(std::uint32_t q);
+    /** Whether @p core is currently in the idle registry
+     *  (invariant auditing: an idle-registered core must not be
+     *  executing a request). */
+    bool idleRegistered(CoreId core) const
+    {
+        return core < coreIsIdle_.size() && coreIsIdle_[core] != 0;
+    }
     /** @} */
 
     std::uint64_t ops() const { return ops_; }

@@ -28,6 +28,17 @@ rotl(std::uint64_t x, int k)
 
 } // namespace
 
+std::uint64_t
+streamSeed(std::uint64_t base, std::uint64_t salt)
+{
+    // Run the (base, salt) pair through two splitmix64 rounds so
+    // nearby salts map to statistically unrelated seeds.
+    std::uint64_t x = base ^ (salt * 0xd1342543de82ef95ull);
+    std::uint64_t out = splitmix64(x);
+    out ^= splitmix64(x);
+    return out;
+}
+
 Rng::Rng(std::uint64_t seed)
 {
     std::uint64_t x = seed;

@@ -18,6 +18,31 @@
 namespace umany
 {
 
+/**
+ * Derive an independent stream seed from a base seed and a component
+ * salt. Components that draw random numbers (load generator arrivals,
+ * endpoint picks, service-time behaviors, network routing, ...) seed
+ * their generators via distinct salts so that adding or removing
+ * draws in one subsystem never perturbs another subsystem's sequence
+ * (which would invalidate golden regression outputs).
+ */
+std::uint64_t streamSeed(std::uint64_t base, std::uint64_t salt);
+
+/** Well-known component salts for streamSeed(). */
+namespace rngstream
+{
+constexpr std::uint64_t arrival = 0x41525249u;    //!< "ARRI"
+constexpr std::uint64_t endpoint = 0x454e4450u;   //!< "ENDP"
+constexpr std::uint64_t burst = 0x42525354u;      //!< "BRST"
+constexpr std::uint64_t behavior = 0x42454856u;   //!< "BEHV"
+constexpr std::uint64_t placement = 0x504c4143u;  //!< "PLAC"
+constexpr std::uint64_t server = 0x53525652u;     //!< "SRVR" (+id)
+constexpr std::uint64_t network = 0x4e4f4332u;    //!< "NOC2"
+constexpr std::uint64_t swqueue = 0x53575130u;    //!< "SWQ0"
+constexpr std::uint64_t rnic = 0x524e4943u;       //!< "RNIC"
+constexpr std::uint64_t coherence = 0x44495254u;  //!< "DIRT"
+} // namespace rngstream
+
 /** xoshiro256++ PRNG with splitmix64 seeding. */
 class Rng
 {

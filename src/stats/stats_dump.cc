@@ -53,10 +53,18 @@ StatsDump::format() const
 std::string
 StatsDump::formatJson() const
 {
+    // Sorted by name so the artifact is diff-stable: two dumps of
+    // the same run compare byte-for-byte even if collection order
+    // changes (golden-figure and replay checks rely on this).
+    std::vector<StatEntry> sorted = entries_;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const StatEntry &a, const StatEntry &b) {
+                         return a.name < b.name;
+                     });
     JsonWriter w;
     w.beginObject();
     w.key("stats").beginArray();
-    for (const StatEntry &e : entries_) {
+    for (const StatEntry &e : sorted) {
         w.beginObject();
         w.key("name").value(e.name);
         w.key("value").value(e.value);

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Validation harness: degenerate machine configurations and a
+ * minimal driver loop for cross-checking the simulator against
+ * closed-form queueing theory (validate/queueing.hh).
+ *
+ * The analytic models assume a single FCFS station with k servers;
+ * the harness builds a one-server, one-village machine with exactly
+ * k cores, a single pure-compute synthetic service (no child calls,
+ * no storage), Poisson arrivals, and queue capacities large enough
+ * that nothing is ever rejected. Everything the simulator adds on
+ * top of pure queueing (NIC pipelines, ICN hops, dequeue/complete
+ * instruction costs) is a near-constant per-request overhead that
+ * tests calibrate away with a near-zero-load run.
+ */
+
+#ifndef UMANY_VALIDATE_HARNESS_HH
+#define UMANY_VALIDATE_HARNESS_HH
+
+#include <cstdint>
+
+#include "arch/machine.hh"
+#include "sim/types.hh"
+
+namespace umany
+{
+namespace validate
+{
+
+/** Configuration of one analytic-validation run. */
+struct ValidationConfig
+{
+    /** Servers in queueing terms == cores in the one village. */
+    std::uint32_t cores = 1;
+    /** Mean service time (pure compute, no blocking calls). */
+    double serviceMeanUs = 200.0;
+    /** Deterministic (M/D/k) instead of exponential (M/M/k). */
+    bool deterministic = false;
+    /** Poisson arrival rate (requests per second). */
+    double rps = 1000.0;
+    Tick warmup = fromMs(250.0);
+    Tick measure = fromSec(2.5);
+    Tick drainLimit = fromSec(2.0);
+    std::uint64_t seed = 42;
+};
+
+/** What one validation run measured. */
+struct ValidationResult
+{
+    double meanUs = 0.0; //!< Mean end-to-end sojourn (recorded roots).
+    double p50Us = 0.0;
+    double p99Us = 0.0;
+    /** Mean core occupancy over the [warmup, warmup+measure)
+     *  window (compare against offered load rho). */
+    double utilization = 0.0;
+    std::uint64_t samples = 0;   //!< Recorded completions.
+    std::uint64_t rejected = 0;  //!< Must be 0 for a valid run.
+    bool drained = false;        //!< Queue empty before drainLimit.
+};
+
+/**
+ * Degenerate single-station machine: one village holding all
+ * @p cores cores, hardware RQ sized so admission never rejects, no
+ * memory pool. Derived from the uManycore preset so the request
+ * lifecycle (HW RQ, NIC dispatch, HW context switching) is the one
+ * the paper's machine uses.
+ */
+MachineParams validationMachineParams(std::uint32_t cores);
+
+/**
+ * Run one open-loop experiment against the degenerate machine and
+ * return windowed measurements. Fatals if the offered load is
+ * unstable (rho >= 1).
+ */
+ValidationResult runValidationSim(const ValidationConfig &cfg);
+
+} // namespace validate
+} // namespace umany
+
+#endif // UMANY_VALIDATE_HARNESS_HH

@@ -1,0 +1,228 @@
+#include "validate/invariants.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "sched/request.hh"
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+thread_local InvariantChecker *InvariantChecker::active_ = nullptr;
+
+InvariantChecker::InvariantChecker(std::uint64_t auditPeriod)
+    : auditPeriod_(auditPeriod)
+{
+}
+
+InvariantChecker *
+InvariantChecker::active()
+{
+    return active_;
+}
+
+void
+InvariantChecker::violation(const std::string &msg)
+{
+    violations_.push_back(msg);
+    if (abortOnViolation_)
+        panic("invariant violation: %s", msg.c_str());
+}
+
+void
+InvariantChecker::expect(bool cond, const char *fmt, ...)
+{
+    if (cond)
+        return;
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    violation(buf);
+}
+
+void
+InvariantChecker::countEvent()
+{
+    ++events_;
+    if (auditPeriod_ != 0 && events_ % auditPeriod_ == 0)
+        runAudits();
+}
+
+InvariantChecker::ReqTrack *
+InvariantChecker::track(const ServiceRequest &req, const char *hook)
+{
+    auto it = reqs_.find(req.id());
+    if (it == reqs_.end()) {
+        expect(false, "req %u: %s before any enqueue", req.id(),
+               hook);
+        return nullptr;
+    }
+    return &it->second;
+}
+
+void
+InvariantChecker::onEnqueue(const ServiceRequest &req)
+{
+    countEvent();
+    auto [it, fresh] = reqs_.try_emplace(req.id());
+    ReqTrack &t = it->second;
+    if (fresh) {
+        // First sighting: arrival into a village queue.
+        t.phase = Ph::Queued;
+        t.enqueues = 1;
+        return;
+    }
+    // Re-enqueue after unblocking.
+    expect(t.phase == Ph::Blocked,
+           "req %u: re-enqueued while not blocked (phase %u)",
+           req.id(), static_cast<unsigned>(t.phase));
+    t.phase = Ph::Queued;
+    t.enqueues += 1;
+}
+
+void
+InvariantChecker::onDequeue(const ServiceRequest &req)
+{
+    countEvent();
+    ReqTrack *t = track(req, "dequeue");
+    if (t == nullptr)
+        return;
+    expect(t->phase == Ph::Queued,
+           "req %u: dequeued while not queued (phase %u)", req.id(),
+           static_cast<unsigned>(t->phase));
+    t->phase = Ph::Running;
+    t->dequeues += 1;
+    expect(t->dequeues == t->enqueues,
+           "req %u: %u dequeues vs %u enqueues", req.id(),
+           t->dequeues, t->enqueues);
+}
+
+void
+InvariantChecker::onBlock(const ServiceRequest &req)
+{
+    countEvent();
+    ReqTrack *t = track(req, "block");
+    if (t == nullptr)
+        return;
+    expect(t->phase == Ph::Running,
+           "req %u: blocked while not running (phase %u)", req.id(),
+           static_cast<unsigned>(t->phase));
+    expect(req.pendingChildren > 0,
+           "req %u: blocked with no pending children", req.id());
+    t->phase = Ph::Blocked;
+}
+
+void
+InvariantChecker::onComplete(const ServiceRequest &req)
+{
+    countEvent();
+    ReqTrack *t = track(req, "complete");
+    if (t == nullptr)
+        return;
+    expect(t->phase == Ph::Running,
+           "req %u: completed while not running (phase %u)", req.id(),
+           static_cast<unsigned>(t->phase));
+    t->phase = Ph::Completed;
+    t->completes += 1;
+    expect(t->completes == 1, "req %u: completed %u times", req.id(),
+           t->completes);
+    expect(t->dequeues == t->enqueues,
+           "req %u: completed with %u dequeues vs %u enqueues",
+           req.id(), t->dequeues, t->enqueues);
+}
+
+void
+InvariantChecker::onReject(const ServiceRequest &req)
+{
+    countEvent();
+    ReqTrack *t = track(req, "reject");
+    if (t == nullptr)
+        return;
+    expect(t->phase == Ph::Queued && t->dequeues == 0,
+           "req %u: rejected after it started (phase %u)", req.id(),
+           static_cast<unsigned>(t->phase));
+    t->phase = Ph::Rejected;
+}
+
+void
+InvariantChecker::onDestroy(const ServiceRequest &req)
+{
+    countEvent();
+    ReqTrack *t = track(req, "destroy");
+    if (t == nullptr)
+        return;
+    expect(t->phase == Ph::Completed || t->phase == Ph::Rejected,
+           "req %u: destroyed while still active (phase %u)",
+           req.id(), static_cast<unsigned>(t->phase));
+    expect(req.pendingChildren == 0,
+           "req %u: destroyed with %u pending children", req.id(),
+           req.pendingChildren);
+    reqs_.erase(req.id());
+}
+
+void
+InvariantChecker::onNetSend()
+{
+    ++netSent_;
+    countEvent();
+}
+
+void
+InvariantChecker::onNetDeliver()
+{
+    ++netDelivered_;
+    expect(netDelivered_ <= netSent_,
+           "network delivered %llu messages but only %llu were sent",
+           static_cast<unsigned long long>(netDelivered_),
+           static_cast<unsigned long long>(netSent_));
+    countEvent();
+}
+
+void
+InvariantChecker::addAuditor(std::string name, AuditFn fn)
+{
+    auditors_.emplace_back(std::move(name), std::move(fn));
+}
+
+void
+InvariantChecker::addFinalAuditor(std::string name, AuditFn fn)
+{
+    finalAuditors_.emplace_back(std::move(name), std::move(fn));
+}
+
+void
+InvariantChecker::clearAuditors()
+{
+    auditors_.clear();
+    finalAuditors_.clear();
+}
+
+void
+InvariantChecker::runAudits()
+{
+    ++auditRuns_;
+    for (auto &[name, fn] : auditors_)
+        fn(*this);
+}
+
+void
+InvariantChecker::finalCheck()
+{
+    runAudits();
+    expect(reqs_.empty(),
+           "%zu requests still tracked after drain (first id %u)",
+           reqs_.size(),
+           reqs_.empty() ? 0u : reqs_.begin()->first);
+    expect(netSent_ == netDelivered_,
+           "flights outlived their messages: %llu sent vs %llu "
+           "delivered",
+           static_cast<unsigned long long>(netSent_),
+           static_cast<unsigned long long>(netDelivered_));
+    for (auto &[name, fn] : finalAuditors_)
+        fn(*this);
+}
+
+} // namespace umany

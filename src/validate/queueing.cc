@@ -1,0 +1,143 @@
+#include "validate/queueing.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace umany::validate
+{
+
+namespace
+{
+
+void
+checkStable(double lambda, double mu, std::uint32_t k)
+{
+    if (lambda <= 0.0 || mu <= 0.0 || k == 0)
+        fatal("queueing formulas need lambda, mu, k > 0 "
+              "(got %f, %f, %u)", lambda, mu, k);
+    if (lambda >= k * mu)
+        fatal("unstable queue: lambda %f >= k*mu %f", lambda, k * mu);
+}
+
+} // namespace
+
+double
+erlangC(std::uint32_t k, double a)
+{
+    if (k == 0 || a <= 0.0)
+        fatal("erlangC needs k > 0 and a > 0 (got %u, %f)", k, a);
+    if (a >= k)
+        fatal("erlangC needs offered load a < k (got %f >= %u)", a, k);
+    // Erlang-B recurrence: B(0) = 1, B(n) = a B(n-1) / (n + a B(n-1)),
+    // then C = k B(k) / (k - a (1 - B(k))). Stays in [0, 1] for all n,
+    // so no overflow for any k.
+    double b = 1.0;
+    for (std::uint32_t n = 1; n <= k; ++n)
+        b = a * b / (n + a * b);
+    return k * b / (k - a * (1.0 - b));
+}
+
+double
+mm1MeanWait(double lambda, double mu)
+{
+    checkStable(lambda, mu, 1);
+    const double rho = lambda / mu;
+    return rho / (mu - lambda);
+}
+
+double
+mm1MeanSojourn(double lambda, double mu)
+{
+    checkStable(lambda, mu, 1);
+    return 1.0 / (mu - lambda);
+}
+
+double
+mm1SojournQuantile(double lambda, double mu, double q)
+{
+    checkStable(lambda, mu, 1);
+    if (q <= 0.0 || q >= 1.0)
+        fatal("quantile must be in (0,1) (got %f)", q);
+    // T ~ Exp(mu - lambda).
+    return -std::log(1.0 - q) / (mu - lambda);
+}
+
+double
+mmkMeanWait(double lambda, double mu, std::uint32_t k)
+{
+    checkStable(lambda, mu, k);
+    const double c = erlangC(k, lambda / mu);
+    return c / (k * mu - lambda);
+}
+
+double
+mmkMeanSojourn(double lambda, double mu, std::uint32_t k)
+{
+    return mmkMeanWait(lambda, mu, k) + 1.0 / mu;
+}
+
+double
+mmkSojournCdf(double lambda, double mu, std::uint32_t k, double t)
+{
+    checkStable(lambda, mu, k);
+    if (t <= 0.0)
+        return 0.0;
+    const double c = erlangC(k, lambda / mu);
+    const double theta = k * mu - lambda; // Conditional wait rate.
+    // T = W + S with S ~ Exp(mu) independent; W = 0 w.p. (1 - c),
+    // else W ~ Exp(theta). The theta == mu case is the Erlang(2, mu)
+    // limit of the hypoexponential sum.
+    const double noWait = 1.0 - std::exp(-mu * t);
+    double waited;
+    if (std::abs(theta - mu) < 1e-9 * mu) {
+        waited = 1.0 - std::exp(-mu * t) * (1.0 + mu * t);
+    } else {
+        waited = 1.0 - (theta * std::exp(-mu * t) -
+                        mu * std::exp(-theta * t)) /
+                           (theta - mu);
+    }
+    return (1.0 - c) * noWait + c * waited;
+}
+
+double
+mmkSojournQuantile(double lambda, double mu, std::uint32_t k, double q)
+{
+    checkStable(lambda, mu, k);
+    if (q <= 0.0 || q >= 1.0)
+        fatal("quantile must be in (0,1) (got %f)", q);
+    // Bracket then bisect: the CDF is continuous and strictly
+    // increasing on t > 0.
+    double lo = 0.0;
+    double hi = 1.0 / mu;
+    while (mmkSojournCdf(lambda, mu, k, hi) < q)
+        hi *= 2.0;
+    for (int it = 0; it < 200 && (hi - lo) > 1e-15 * hi; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (mmkSojournCdf(lambda, mu, k, mid) < q)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+md1MeanWait(double lambda, double serviceTime)
+{
+    if (lambda <= 0.0 || serviceTime <= 0.0)
+        fatal("md1 needs lambda, s > 0 (got %f, %f)", lambda,
+              serviceTime);
+    const double rho = lambda * serviceTime;
+    if (rho >= 1.0)
+        fatal("unstable M/D/1: rho %f >= 1", rho);
+    return rho * serviceTime / (2.0 * (1.0 - rho));
+}
+
+double
+md1MeanSojourn(double lambda, double serviceTime)
+{
+    return md1MeanWait(lambda, serviceTime) + serviceTime;
+}
+
+} // namespace umany::validate

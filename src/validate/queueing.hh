@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Closed-form queueing results used to validate the simulator
+ * against theory: M/M/1, M/M/k (via Erlang-C), and M/D/1 mean and
+ * percentile sojourn times. Degenerate single-village machine
+ * configurations reduce to these models exactly, so simulated
+ * latency must track the formulas within tight tolerance bands
+ * (see tests/test_analytic_validation.cc).
+ *
+ * Conventions: lambda = arrival rate (per second), mu = per-server
+ * service rate (per second), k = number of servers. Times are in
+ * seconds; helpers never return negative values.
+ */
+
+#ifndef UMANY_VALIDATE_QUEUEING_HH
+#define UMANY_VALIDATE_QUEUEING_HH
+
+#include <cstdint>
+
+namespace umany::validate
+{
+
+/**
+ * Erlang-C: probability an arriving request must wait in an M/M/k
+ * queue with offered load a = lambda / mu. Requires a < k (stable).
+ * Computed with a numerically stable iterative form (no factorials).
+ */
+double erlangC(std::uint32_t k, double a);
+
+/** @name M/M/1 (k = 1, exponential service)
+ *  Sojourn time T ~ Exp(mu - lambda).
+ *  @{ */
+double mm1MeanWait(double lambda, double mu);
+double mm1MeanSojourn(double lambda, double mu);
+/** Quantile q in (0, 1) of the sojourn time, e.g. q=0.99 for p99. */
+double mm1SojournQuantile(double lambda, double mu, double q);
+/** @} */
+
+/** @name M/M/k (k homogeneous exponential servers, FCFS)
+ *  Wait has an atom (1 - C) at zero plus an Exp(k mu - lambda) tail
+ *  with probability C = erlangC(k, lambda / mu); the sojourn is that
+ *  wait plus an independent Exp(mu) service.
+ *  @{ */
+double mmkMeanWait(double lambda, double mu, std::uint32_t k);
+double mmkMeanSojourn(double lambda, double mu, std::uint32_t k);
+/** P(T <= t) for the FCFS M/M/k sojourn time. */
+double mmkSojournCdf(double lambda, double mu, std::uint32_t k,
+                     double t);
+/** Quantile q in (0, 1) of the sojourn time (bisection on the CDF). */
+double mmkSojournQuantile(double lambda, double mu, std::uint32_t k,
+                          double q);
+/** @} */
+
+/** @name M/D/1 (deterministic service time s seconds)
+ *  Pollaczek-Khinchine: Wq = rho s / (2 (1 - rho)), rho = lambda s.
+ *  @{ */
+double md1MeanWait(double lambda, double serviceTime);
+double md1MeanSojourn(double lambda, double serviceTime);
+/** @} */
+
+} // namespace umany::validate
+
+#endif // UMANY_VALIDATE_QUEUEING_HH

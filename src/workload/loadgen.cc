@@ -11,7 +11,8 @@ LoadGenerator::LoadGenerator(EventQueue &eq,
                              const ServiceCatalog &catalog,
                              const LoadGenParams &p, SubmitFn submit)
     : eq_(eq), catalog_(catalog), p_(p), submit_(std::move(submit)),
-      rng_(p.seed)
+      arrivalRng_(streamSeed(p.seed, rngstream::arrival)),
+      pickRng_(streamSeed(p.seed, rngstream::endpoint))
 {
     if (p_.rps <= 0.0)
         fatal("load generator rate must be positive (got %f)", p_.rps);
@@ -35,14 +36,15 @@ LoadGenerator::LoadGenerator(EventQueue &eq,
         std::vector<Mmpp::State> states;
         for (const auto &[mult, stay] : p_.burstStates)
             states.push_back(Mmpp::State{p_.rps * mult / norm, stay});
-        mmpp_ = std::make_unique<Mmpp>(states, rng_.next());
+        mmpp_ = std::make_unique<Mmpp>(
+            states, streamSeed(p_.seed, rngstream::burst));
     }
 }
 
 ServiceId
 LoadGenerator::pickEndpoint()
 {
-    const double u = rng_.uniform(0.0, totalWeight_);
+    const double u = pickRng_.uniform(0.0, totalWeight_);
     for (std::size_t i = 0; i < cumWeight_.size(); ++i) {
         if (u < cumWeight_[i])
             return endpoints_[i];
@@ -60,7 +62,7 @@ void
 LoadGenerator::scheduleNext(Tick from)
 {
     const double gap_sec = mmpp_ ? mmpp_->nextInterarrival()
-                                 : rng_.expMean(1.0 / p_.rps);
+                                 : arrivalRng_.expMean(1.0 / p_.rps);
     const Tick when = from + fromSec(gap_sec);
     if (when >= p_.stop)
         return;

@@ -64,7 +64,10 @@ class LoadGenerator
     const ServiceCatalog &catalog_;
     LoadGenParams p_;
     SubmitFn submit_;
-    Rng rng_;
+    /** Independent streams: interarrival gaps vs endpoint picks, so
+     *  extra draws in one never shift the other (golden stability). */
+    Rng arrivalRng_;
+    Rng pickRng_;
     std::vector<ServiceId> endpoints_;
     std::vector<double> cumWeight_;
     double totalWeight_ = 0.0;

@@ -15,6 +15,8 @@ synthDistName(SynthDist d)
         return "Lgn";
       case SynthDist::Bimodal:
         return "Bim";
+      case SynthDist::Deterministic:
+        return "Det";
     }
     return "?";
 }
@@ -22,7 +24,7 @@ synthDistName(SynthDist d)
 ServiceCatalog
 buildSynthetic(const SyntheticParams &p)
 {
-    if (p.minCalls == 0 || p.minCalls > p.maxCalls)
+    if (p.minCalls > p.maxCalls)
         fatal("synthetic calls range [%u, %u] invalid", p.minCalls,
               p.maxCalls);
 
@@ -38,6 +40,9 @@ buildSynthetic(const SyntheticParams &p)
             break;
           case SynthDist::Lognormal:
             total_us = LognormalDist(p.meanUs, p.lognSigma).sample(rng);
+            break;
+          case SynthDist::Deterministic:
+            total_us = p.meanUs;
             break;
           case SynthDist::Bimodal:
           default:

@@ -16,15 +16,17 @@
 namespace umany
 {
 
-/** Service-time distribution families used in Fig 20. */
+/** Service-time distribution families used in Fig 20, plus the
+ *  deterministic case used by the M/D/1 analytic validation. */
 enum class SynthDist : std::uint8_t
 {
     Exponential,
     Lognormal,
     Bimodal,
+    Deterministic,
 };
 
-/** Short name: "Exp", "Lgn", "Bim". */
+/** Short name: "Exp", "Lgn", "Bim", "Det". */
 const char *synthDistName(SynthDist d);
 
 /** Parameters of a synthetic service. */
@@ -41,7 +43,9 @@ struct SyntheticParams
     double bimodalShortUs = 500.0;
     double bimodalLongUs = 12000.0;
     double bimodalShortProb = 0.87;
-    /** Blocking storage calls per request: uniform [minCalls,maxCalls]. */
+    /** Blocking storage calls per request: uniform [minCalls,maxCalls].
+     *  minCalls == maxCalls == 0 produces a pure single-segment
+     *  compute service (used by the analytic queueing validation). */
     std::uint32_t minCalls = 2;
     std::uint32_t maxCalls = 6;
 };

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Analytic cross-checks (ISSUE 3 tentpole, part 1): degenerate
+ * single-village machines must reproduce closed-form M/M/1, M/M/k,
+ * and M/D/1 latency and utilization.
+ *
+ * Methodology: the simulator adds a near-constant per-request
+ * overhead on top of pure queueing (top-NIC ingress, ICN hops,
+ * dequeue/complete instructions, external wire latency). A
+ * near-zero-load run with a deterministic service measures that
+ * overhead exactly (every sample is service + overhead); loaded
+ * runs subtract it before comparing against theory. Tolerances:
+ * mean within 5%, p99 within 10% (histogram buckets alone
+ * contribute up to ~1.6%), utilization within 0.05 of rho.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "validate/harness.hh"
+#include "validate/queueing.hh"
+
+namespace
+{
+
+using namespace umany;
+using namespace umany::validate;
+
+constexpr double kServiceUs = 100.0;       // Mean service time.
+constexpr double kMuPerCore = 1e6 / kServiceUs; // = 10000 /s.
+
+/**
+ * Per-request overhead (us) of the request path through a k-core
+ * validation machine, measured with a deterministic service at
+ * negligible load so queueing and service variance contribute
+ * nothing.
+ */
+double
+measureOverheadUs(std::uint32_t cores)
+{
+    ValidationConfig cfg;
+    cfg.cores = cores;
+    cfg.serviceMeanUs = kServiceUs;
+    cfg.deterministic = true;
+    cfg.rps = 200.0;
+    cfg.warmup = fromMs(50.0);
+    cfg.measure = fromMs(500.0);
+    const ValidationResult r = runValidationSim(cfg);
+    EXPECT_TRUE(r.drained);
+    EXPECT_EQ(r.rejected, 0u);
+    EXPECT_GT(r.samples, 50u);
+    EXPECT_GT(r.meanUs, kServiceUs);
+    return r.meanUs - kServiceUs;
+}
+
+ValidationResult
+runAtRho(std::uint32_t cores, double rho, bool deterministic,
+         std::uint64_t seed = 42)
+{
+    ValidationConfig cfg;
+    cfg.cores = cores;
+    cfg.serviceMeanUs = kServiceUs;
+    cfg.deterministic = deterministic;
+    cfg.rps = rho * kMuPerCore * cores;
+    cfg.seed = seed;
+    const ValidationResult r = runValidationSim(cfg);
+    EXPECT_TRUE(r.drained);
+    EXPECT_EQ(r.rejected, 0u);
+    return r;
+}
+
+double
+relErr(double measured, double expected)
+{
+    return std::abs(measured - expected) / expected;
+}
+
+// --- Closed-form library unit tests --------------------------------
+
+TEST(Queueing, ErlangCReducesToRhoForOneServer)
+{
+    // With one server the probability of waiting is exactly rho.
+    for (const double a : {0.1, 0.3, 0.5, 0.8, 0.95})
+        EXPECT_NEAR(erlangC(1, a), a, 1e-12);
+}
+
+TEST(Queueing, ErlangCKnownValue)
+{
+    // Textbook value: k=2, a=1 -> C = 1/3.
+    EXPECT_NEAR(erlangC(2, 1.0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Queueing, ErlangCMonotoneInLoad)
+{
+    double prev = 0.0;
+    for (double a = 0.5; a < 7.9; a += 0.5) {
+        const double c = erlangC(8, a);
+        EXPECT_GT(c, prev);
+        EXPECT_LT(c, 1.0);
+        prev = c;
+    }
+}
+
+TEST(Queueing, Mm1MeanMatchesFormula)
+{
+    // T = 1 / (mu - lambda).
+    EXPECT_NEAR(mm1MeanSojourn(3000.0, 10000.0), 1.0 / 7000.0,
+                1e-12);
+    EXPECT_NEAR(mm1MeanWait(3000.0, 10000.0),
+                1.0 / 7000.0 - 1.0 / 10000.0, 1e-12);
+}
+
+TEST(Queueing, MmkWithOneServerMatchesMm1)
+{
+    const double lambda = 6500.0, mu = 10000.0;
+    EXPECT_NEAR(mmkMeanSojourn(lambda, mu, 1),
+                mm1MeanSojourn(lambda, mu), 1e-9);
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+        EXPECT_NEAR(mmkSojournQuantile(lambda, mu, 1, q),
+                    mm1SojournQuantile(lambda, mu, q), 1e-9);
+    }
+}
+
+TEST(Queueing, MmkQuantileInvertsCdf)
+{
+    const double lambda = 25000.0, mu = 10000.0;
+    const std::uint32_t k = 4;
+    for (const double q : {0.5, 0.9, 0.99}) {
+        const double t = mmkSojournQuantile(lambda, mu, k, q);
+        EXPECT_NEAR(mmkSojournCdf(lambda, mu, k, t), q, 1e-9);
+    }
+}
+
+TEST(Queueing, Md1MeanMatchesPollaczekKhinchine)
+{
+    // rho = 0.6, s = 100us: Wq = 0.6 * s / (2 * 0.4) = 0.75 s.
+    const double s = 100e-6;
+    EXPECT_NEAR(md1MeanWait(6000.0, s), 0.75 * s, 1e-12);
+    EXPECT_NEAR(md1MeanSojourn(6000.0, s), 1.75 * s, 1e-12);
+}
+
+// --- Simulator vs theory -------------------------------------------
+
+class Mm1Validation : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(Mm1Validation, MeanAndTailTrackTheory)
+{
+    const double rho = GetParam();
+    const double lambda = rho * kMuPerCore;
+    const double overheadUs = measureOverheadUs(1);
+
+    const ValidationResult r = runAtRho(1, rho, false);
+    ASSERT_GT(r.samples, 1000u);
+
+    const double theoryMeanUs =
+        mm1MeanSojourn(lambda, kMuPerCore) * 1e6;
+    const double theoryP99Us =
+        mm1SojournQuantile(lambda, kMuPerCore, 0.99) * 1e6;
+
+    EXPECT_LT(relErr(r.meanUs - overheadUs, theoryMeanUs), 0.05)
+        << "rho=" << rho << " measured=" << r.meanUs
+        << "us overhead=" << overheadUs << "us theory="
+        << theoryMeanUs << "us";
+    EXPECT_LT(relErr(r.p99Us - overheadUs, theoryP99Us), 0.10)
+        << "rho=" << rho << " measured p99=" << r.p99Us
+        << "us overhead=" << overheadUs << "us theory="
+        << theoryP99Us << "us";
+    EXPECT_NEAR(r.utilization, rho, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, Mm1Validation,
+                         ::testing::Values(0.3, 0.6, 0.8));
+
+class MmkValidation : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(MmkValidation, FourCoreVillageTracksMMk)
+{
+    const double rho = GetParam();
+    const std::uint32_t k = 4;
+    const double lambda = rho * kMuPerCore * k;
+    const double overheadUs = measureOverheadUs(k);
+
+    const ValidationResult r = runAtRho(k, rho, false);
+    ASSERT_GT(r.samples, 1000u);
+
+    const double theoryMeanUs =
+        mmkMeanSojourn(lambda, kMuPerCore, k) * 1e6;
+    const double theoryP99Us =
+        mmkSojournQuantile(lambda, kMuPerCore, k, 0.99) * 1e6;
+
+    EXPECT_LT(relErr(r.meanUs - overheadUs, theoryMeanUs), 0.05)
+        << "rho=" << rho << " measured=" << r.meanUs
+        << "us overhead=" << overheadUs << "us theory="
+        << theoryMeanUs << "us";
+    EXPECT_LT(relErr(r.p99Us - overheadUs, theoryP99Us), 0.10)
+        << "rho=" << rho << " measured p99=" << r.p99Us
+        << "us overhead=" << overheadUs << "us theory="
+        << theoryP99Us << "us";
+    EXPECT_NEAR(r.utilization, rho, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, MmkValidation,
+                         ::testing::Values(0.3, 0.6, 0.8));
+
+TEST(Md1Validation, DeterministicServiceTracksMD1Mean)
+{
+    const double rho = 0.6;
+    const double lambda = rho * kMuPerCore;
+    const double overheadUs = measureOverheadUs(1);
+
+    const ValidationResult r = runAtRho(1, rho, true);
+    ASSERT_GT(r.samples, 1000u);
+
+    const double theoryMeanUs =
+        md1MeanSojourn(lambda, kServiceUs * 1e-6) * 1e6;
+    EXPECT_LT(relErr(r.meanUs - overheadUs, theoryMeanUs), 0.05)
+        << "measured=" << r.meanUs << "us overhead=" << overheadUs
+        << "us theory=" << theoryMeanUs << "us";
+    EXPECT_NEAR(r.utilization, rho, 0.05);
+}
+
+TEST(Md1Validation, WaitBeatsMm1)
+{
+    // Sanity on the simulator, not just the formulas: deterministic
+    // service halves the queueing delay vs exponential at equal rho.
+    const double rho = 0.8;
+    const ValidationResult det = runAtRho(1, rho, true);
+    const ValidationResult exp = runAtRho(1, rho, false);
+    EXPECT_LT(det.meanUs, exp.meanUs);
+}
+
+} // namespace

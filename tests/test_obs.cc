@@ -8,10 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "arch/presets.hh"
 #include "driver/experiment.hh"
@@ -290,6 +292,29 @@ TEST(Stats, FormatJsonRoundTripsNumerically)
         EXPECT_DOUBLE_EQ(e.find("value")->number, dump.value(name))
             << name;
     }
+}
+
+TEST(Stats, FormatJsonEmitsSortedNames)
+{
+    // Diff-stable artifacts: names come out sorted regardless of
+    // the order stats were collected in.
+    StatsDump dump;
+    dump.add("zeta.last", 3.0, "added first");
+    dump.add("alpha.first", 1.0, "added last");
+    dump.add("mid.dle", 2.0, "added in between");
+
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(jsonParse(dump.formatJson(), v, &err)) << err;
+    const JsonValue *stats = v.find("stats");
+    ASSERT_NE(stats, nullptr);
+    std::vector<std::string> names;
+    for (const JsonValue &e : stats->items)
+        names.push_back(e.find("name")->str);
+    std::vector<std::string> sorted = names;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(names, sorted);
+    EXPECT_EQ(names.size(), 3u);
 }
 
 TEST(Report, MetricsJsonMatchesStruct)
