@@ -26,6 +26,7 @@
 
 #include "bench/common.hh"
 #include "driver/qos.hh"
+#include "fault/fault_plan.hh"
 #include "obs/json.hh"
 
 using namespace umany;
@@ -124,6 +125,39 @@ fig18Small()
     return out;
 }
 
+/**
+ * Resilience at small scale: both fault-tolerant-routing contrast
+ * machines with recovery on, healthy and with two links down per
+ * server. Pins the fault layer end to end: seeded plan generation,
+ * ECMP route-around vs fat-tree partitioning, NIC shedding, and the
+ * client's timeout/retry/backoff accounting.
+ */
+std::string
+figResilienceSmall()
+{
+    const ServiceCatalog catalog = buildSocialNetwork();
+    std::string out = "# fig_resilience-small: 2 dead links/server "
+                      "vs healthy (1 server, 5K RPS, recovery on)\n";
+    const std::vector<std::pair<std::string, MachineParams>>
+        machines = {
+            {"uManycore", uManycoreParams()},
+            {"ScaleOut", scaleOutParams()},
+        };
+    for (const auto &[name, mp] : machines) {
+        for (const std::uint32_t failures : {0u, 2u}) {
+            ExperimentConfig cfg = smallConfig(mp, 5000.0, 1);
+            cfg.cluster.recovery.enabled = true;
+            const std::unique_ptr<Topology> topo = makeTopology(mp);
+            cfg.faults = randomLinkFailures(
+                *topo, failures, cfg.warmup / 2, cfg.seed, 0);
+            out += reportBlock(
+                name + "/links=" + std::to_string(failures),
+                catalog, cfg);
+        }
+    }
+    return out;
+}
+
 struct GoldenCase
 {
     const char *name;
@@ -134,6 +168,7 @@ const GoldenCase kCases[] = {
     {"fig03-small", fig03Small},
     {"fig14-small", fig14Small},
     {"fig18-small", fig18Small},
+    {"fig_resilience-small", figResilienceSmall},
 };
 
 std::string

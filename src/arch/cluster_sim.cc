@@ -10,6 +10,21 @@
 namespace umany
 {
 
+Tick
+RecoveryParams::backoffDelay(std::uint32_t attempt) const
+{
+    // base * factor^(attempt - 1), saturating at the cap. Purely
+    // deterministic: retry schedules replay exactly under one seed.
+    double d = static_cast<double>(backoffBase);
+    for (std::uint32_t i = 1; i < attempt; ++i) {
+        d *= backoffFactor;
+        if (d >= static_cast<double>(backoffCap))
+            return backoffCap;
+    }
+    const Tick t = static_cast<Tick>(d);
+    return t < backoffCap ? t : backoffCap;
+}
+
 ClusterSim::ClusterSim(EventQueue &eq, const ServiceCatalog &catalog,
                        const MachineParams &machine,
                        const ClusterSimParams &p)
@@ -34,6 +49,28 @@ ClusterSim::ClusterSim(EventQueue &eq, const ServiceCatalog &catalog,
     placeInstances();
     perEndpoint_.resize(catalog_.size());
     qosThreshold_.assign(catalog_.size(), 0);
+
+    if (p_.recovery.enabled) {
+        // Retries conserve the request lifecycle: every launched
+        // attempt resolves exactly once (response, stale response,
+        // or timeout), and no task survives a clean drain.
+        UMANY_INVARIANT(InvariantChecker::active()->addFinalAuditor(
+            "cluster.recovery", [this](InvariantChecker &ic) {
+                ic.expect(tasks_.empty(),
+                          "%zu root tasks still open after drain",
+                          tasks_.size());
+                ic.expect(reqTask_.empty(),
+                          "%zu attempts still mapped after drain",
+                          reqTask_.size());
+                ic.expect(attemptsLaunched_ == attemptsResolved_,
+                          "attempt leak: %llu launched vs %llu "
+                          "resolved",
+                          static_cast<unsigned long long>(
+                              attemptsLaunched_),
+                          static_cast<unsigned long long>(
+                              attemptsResolved_));
+            }));
+    }
 }
 
 ClusterSim::~ClusterSim() = default;
@@ -167,6 +204,15 @@ ClusterSim::destroy(ServiceRequest *req)
 void
 ClusterSim::submitRoot(ServiceId endpoint)
 {
+    if (p_.recovery.enabled) {
+        const std::uint64_t task_id = nextTask_++;
+        RootTask &t = tasks_[task_id];
+        t.endpoint = endpoint;
+        t.firstSubmit = eq_.now();
+        launchAttempt(task_id);
+        return;
+    }
+
     ServiceRequest *req = makeRequest(endpoint, nullptr);
     req->rootEndpoint = endpoint;
     req->reqBytes = 512;
@@ -183,8 +229,151 @@ ClusterSim::submitRoot(ServiceId endpoint)
 }
 
 void
+ClusterSim::launchAttempt(std::uint64_t task_id)
+{
+    RootTask &t = tasks_[task_id];
+    t.attempt += 1;
+    t.generation += 1;
+    const std::uint64_t gen = t.generation;
+    ++attemptsLaunched_;
+
+    ServiceRequest *req = makeRequest(t.endpoint, nullptr);
+    req->rootEndpoint = t.endpoint;
+    req->reqBytes = 512;
+    req->respBytes = 2048;
+    t.inFlight = req->id();
+    reqTask_.emplace(req->id(), task_id);
+
+    // Round-robin over servers like the legacy path; a retry
+    // naturally lands on a different server than the attempt that
+    // timed out.
+    const ServerId target = rrServer_++ % servers_.size();
+    t.lastTarget = target;
+    UMANY_TRACE(traceReqCreated(eq_.now(), *req, target));
+    const Tick arrive =
+        eq_.now() +
+        servers_[target]->machine().topNic().params().extLatency;
+    eq_.schedule(arrive, [this, req, target]() {
+        servers_[target]->machine().externalArrival(req);
+    });
+
+    // The event queue has no cancel primitive: the timeout carries
+    // the attempt generation and no-ops once the attempt resolved.
+    eq_.schedule(eq_.now() + p_.recovery.timeout,
+                 [this, task_id, gen]() {
+                     onAttemptTimeout(task_id, gen);
+                 });
+}
+
+void
+ClusterSim::onAttemptTimeout(std::uint64_t task_id,
+                             std::uint64_t gen)
+{
+    auto it = tasks_.find(task_id);
+    if (it == tasks_.end() || it->second.generation != gen)
+        return; // The attempt resolved before the deadline.
+    RootTask &t = it->second;
+    if (recording_)
+        ++timeouts_;
+    UMANY_TRACE(TraceSink::active()->instant(
+        eq_.now(), t.lastTarget, traceClientTrack,
+        "recovery.timeout", task_id));
+
+    // Abandon the in-flight attempt: sever the mapping so its
+    // eventual response is recognized as stale.
+    if (t.inFlight != 0) {
+        reqTask_.erase(t.inFlight);
+        t.inFlight = 0;
+    }
+    if (t.attempt > p_.recovery.maxRetries) {
+        // Retry budget exhausted: the client gives up.
+        if (recording_) {
+            ++observedRoots_;
+            ++rejectedRoots_;
+            ++shedRoots_;
+        }
+        UMANY_TRACE(TraceSink::active()->instant(
+            eq_.now(), t.lastTarget, traceClientTrack,
+            "recovery.giveup", task_id));
+        tasks_.erase(it);
+        return;
+    }
+    scheduleRetry(task_id);
+}
+
+void
+ClusterSim::scheduleRetry(std::uint64_t task_id)
+{
+    RootTask &t = tasks_[task_id];
+    if (recording_)
+        ++retries_;
+    const std::uint64_t gen = ++t.generation;
+    const Tick delay = p_.recovery.backoffDelay(t.attempt);
+    UMANY_TRACE(TraceSink::active()->instant(
+        eq_.now(), t.lastTarget, traceClientTrack, "recovery.retry",
+        task_id, static_cast<double>(t.attempt)));
+    eq_.schedule(eq_.now() + delay, [this, task_id, gen]() {
+        auto it = tasks_.find(task_id);
+        if (it == tasks_.end() || it->second.generation != gen)
+            return;
+        launchAttempt(task_id);
+    });
+}
+
+void
+ClusterSim::recoveredRootComplete(ServiceRequest *req)
+{
+    ++attemptsResolved_;
+    auto rit = reqTask_.find(req->id());
+    if (rit == reqTask_.end()) {
+        // The client already timed this attempt out; the response
+        // arrived too late to matter.
+        if (recording_)
+            ++staleResponses_;
+        destroy(req);
+        return;
+    }
+    const std::uint64_t task_id = rit->second;
+    reqTask_.erase(rit);
+    RootTask &t = tasks_[task_id];
+    t.generation += 1; // Defuses this attempt's pending timeout.
+    t.inFlight = 0;
+
+    if (req->rejected && p_.recovery.retryRejects &&
+        t.attempt <= p_.recovery.maxRetries) {
+        destroy(req);
+        scheduleRetry(task_id);
+        return;
+    }
+
+    // Final word for this task: client-observed latency spans every
+    // attempt and backoff wait, from the first submit.
+    const Tick latency = eq_.now() - t.firstSubmit;
+    const ServiceId ep = t.endpoint;
+    if (recording_) {
+        ++observedRoots_;
+        if (req->rejected) {
+            ++rejectedRoots_;
+        } else {
+            ++completedRoots_;
+            perEndpoint_[ep].add(latency);
+            allLatency_.add(latency);
+            const Tick threshold = qosThreshold_[ep];
+            if (threshold != 0 && latency > threshold)
+                ++qosViolations_;
+        }
+    }
+    tasks_.erase(task_id);
+    destroy(req);
+}
+
+void
 ClusterSim::handleRootComplete(ServerId, ServiceRequest *req)
 {
+    if (p_.recovery.enabled) {
+        recoveredRootComplete(req);
+        return;
+    }
     const Tick latency = eq_.now() - req->createdAt;
     if (recording_) {
         ++observedRoots_;

@@ -23,6 +23,30 @@
 namespace umany
 {
 
+/**
+ * Client-side recovery policy at the load-generator boundary:
+ * each root request is a task that is retried with exponential
+ * backoff when an attempt times out (or comes back rejected),
+ * up to a retry budget. Off by default — the legacy submit path
+ * is taken unchanged when disabled.
+ */
+struct RecoveryParams
+{
+    bool enabled = false;
+    /** Client-observed deadline for one attempt. */
+    Tick timeout = fromMs(5.0);
+    /** Retries beyond the first attempt (maxRetries + 1 total). */
+    std::uint32_t maxRetries = 3;
+    Tick backoffBase = fromUs(500.0);
+    double backoffFactor = 2.0;
+    Tick backoffCap = fromMs(8.0);
+    /** Also retry attempts the server explicitly rejected/shed. */
+    bool retryRejects = true;
+
+    /** Deterministic delay before attempt @p attempt + 1. */
+    Tick backoffDelay(std::uint32_t attempt) const;
+};
+
 /** Cluster-level configuration. */
 struct ClusterSimParams
 {
@@ -32,6 +56,7 @@ struct ClusterSimParams
     double localCallBias = 0.7;
     StorageParams storage;
     InterServerParams interServer; //!< numServers is overridden.
+    RecoveryParams recovery;
     std::uint64_t seed = 0x5ca1ab1eull;
 };
 
@@ -73,6 +98,15 @@ class ClusterSim
     std::uint64_t rejectedRoots() const { return rejectedRoots_; }
     std::uint64_t qosViolations() const { return qosViolations_; }
     std::uint64_t observedRoots() const { return observedRoots_; }
+    /** @name Recovery counters (all zero when recovery is off). @{ */
+    bool recoveryEnabled() const { return p_.recovery.enabled; }
+    std::uint64_t retries() const { return retries_; }
+    std::uint64_t timeouts() const { return timeouts_; }
+    /** Roots abandoned after exhausting the retry budget. */
+    std::uint64_t shedRoots() const { return shedRoots_; }
+    /** Responses that arrived after their attempt timed out. */
+    std::uint64_t staleResponses() const { return staleResponses_; }
+    /** @} */
     std::uint64_t requestsInFlight() const
     {
         return requests_.size();
@@ -106,6 +140,29 @@ class ClusterSim
     RequestId nextId_ = 1;
     std::uint32_t rrServer_ = 0;
 
+    /**
+     * One root request as the client sees it: a sequence of attempts
+     * (each a distinct ServiceRequest) until a response arrives in
+     * time or the retry budget runs out. The event queue has no
+     * cancel primitive, so every scheduled timeout carries the
+     * attempt generation and no-ops when it is no longer current.
+     */
+    struct RootTask
+    {
+        ServiceId endpoint = 0;
+        Tick firstSubmit = 0;
+        std::uint32_t attempt = 0;    //!< Attempts launched so far.
+        std::uint64_t generation = 0; //!< Bumped per launch/resolve.
+        RequestId inFlight = 0;       //!< 0 while backing off.
+        ServerId lastTarget = 0;
+    };
+    std::unordered_map<std::uint64_t, RootTask> tasks_;
+    std::unordered_map<RequestId, std::uint64_t> reqTask_;
+    std::uint64_t nextTask_ = 1;
+    /** Lifecycle-conservation pair audited at finalCheck(). */
+    std::uint64_t attemptsLaunched_ = 0;
+    std::uint64_t attemptsResolved_ = 0;
+
     bool recording_ = true;
     std::vector<Histogram> perEndpoint_; //!< Indexed by ServiceId.
     Histogram allLatency_;
@@ -118,6 +175,10 @@ class ClusterSim
     std::uint64_t rejectedRoots_ = 0;
     std::uint64_t qosViolations_ = 0;
     std::uint64_t observedRoots_ = 0;
+    std::uint64_t retries_ = 0;
+    std::uint64_t timeouts_ = 0;
+    std::uint64_t shedRoots_ = 0;
+    std::uint64_t staleResponses_ = 0;
 
     void placeInstances();
     void wireServer(ServerId s);
@@ -126,6 +187,12 @@ class ClusterSim
     void destroy(ServiceRequest *req);
 
     void handleRootComplete(ServerId s, ServiceRequest *req);
+    /** @name Recovery machinery (recovery.enabled only) @{ */
+    void launchAttempt(std::uint64_t task_id);
+    void onAttemptTimeout(std::uint64_t task_id, std::uint64_t gen);
+    void scheduleRetry(std::uint64_t task_id);
+    void recoveredRootComplete(ServiceRequest *req);
+    /** @} */
     void handleStorageCall(ServerId s, ServiceRequest *parent,
                            const CallStep &step);
     void handleServiceCall(ServerId s, ServiceRequest *parent,

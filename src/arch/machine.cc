@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fault/fault_state.hh"
 #include "noc/fat_tree.hh"
 #include "noc/leaf_spine.hh"
 #include "noc/mesh.hh"
@@ -49,17 +50,17 @@ Machine::Machine(std::string name, EventQueue &eq,
 
 Machine::~Machine() = default;
 
-void
-Machine::buildTopology()
+std::unique_ptr<Topology>
+makeTopology(const MachineParams &p)
 {
     const std::uint32_t num_clusters =
-        p_.numCores / (p_.coresPerVillage * p_.villagesPerCluster);
+        p.numCores / (p.coresPerVillage * p.villagesPerCluster);
     const std::uint32_t epl =
-        p_.villagesPerCluster + (p_.hasMemoryPool ? 1 : 0);
-    const Tick hop =
-        cyc(static_cast<double>(p_.hopCycles));
+        p.villagesPerCluster + (p.hasMemoryPool ? 1 : 0);
+    const Tick hop = cyclesToTicks(
+        static_cast<double>(p.hopCycles), p.core.ghz);
 
-    switch (p_.topo) {
+    switch (p.topo) {
       case MachineParams::Topo::LeafSpine: {
         LeafSpineParams lp;
         lp.numLeaves = num_clusters;
@@ -71,18 +72,16 @@ Machine::buildTopology()
             lp.l3Count = 1; // Degenerate single-pod config.
         lp.endpointsPerLeaf = epl;
         lp.hopLatency = hop;
-        lp.bytesPerTick = p_.linkBytesPerTick;
-        topo_ = std::make_unique<LeafSpine>(lp);
-        break;
+        lp.bytesPerTick = p.linkBytesPerTick;
+        return std::make_unique<LeafSpine>(lp);
       }
       case MachineParams::Topo::FatTree: {
         FatTreeParams fp;
         fp.numLeaves = num_clusters;
         fp.endpointsPerLeaf = epl;
         fp.hopLatency = hop;
-        fp.bytesPerTick = p_.linkBytesPerTick;
-        topo_ = std::make_unique<FatTree>(fp);
-        break;
+        fp.bytesPerTick = p.linkBytesPerTick;
+        return std::make_unique<FatTree>(fp);
       }
       case MachineParams::Topo::Mesh: {
         MeshParams mp;
@@ -91,11 +90,18 @@ Machine::buildTopology()
         mp.height = (num_clusters + mp.width - 1) / mp.width;
         mp.endpointsPerNode = epl;
         mp.hopLatency = hop;
-        mp.bytesPerTick = p_.linkBytesPerTick;
-        topo_ = std::make_unique<Mesh2D>(mp);
-        break;
+        mp.bytesPerTick = p.linkBytesPerTick;
+        return std::make_unique<Mesh2D>(mp);
       }
     }
+    panic("unknown topology kind %u",
+          static_cast<unsigned>(p.topo));
+}
+
+void
+Machine::buildTopology()
+{
+    topo_ = makeTopology(p_);
 
     net_ = std::make_unique<Network>(
         name() + ".net", eventq(), *topo_,
@@ -252,14 +258,58 @@ Machine::installInstance(ServiceId service, VillageId village)
 
 void
 Machine::sendIcn(EndpointId src, EndpointId dst, std::uint32_t bytes,
-                 MsgClass cls, Network::DeliverFn fn)
+                 MsgClass cls, Network::DeliverFn fn,
+                 Network::DropFn drop)
 {
     Message m;
     m.src = src;
     m.dst = dst;
     m.bytes = bytes;
     m.cls = cls;
-    net_->send(m, std::move(fn));
+    net_->send(m, std::move(fn), std::move(drop));
+}
+
+FaultState &
+Machine::armFaults()
+{
+    if (!faults_) {
+        faults_ = std::make_unique<FaultState>(*topo_);
+        net_->setFaultState(faults_.get());
+    }
+    return *faults_;
+}
+
+void
+Machine::setVillageUp(VillageId v, bool up)
+{
+    if (v >= villages_.size())
+        fatal("setVillageUp: village %u out of range", v);
+    serviceMap_.setVillageUp(v, up);
+}
+
+bool
+Machine::degradedDispatch() const
+{
+    return (faults_ != nullptr && faults_->anyLinkDown()) ||
+           serviceMap_.villagesDown() > 0;
+}
+
+VillageId
+Machine::pickReachableVillage(ServiceId service, EndpointId from)
+{
+    const std::size_t n = serviceMap_.villagesOf(service).size();
+    const bool check_path =
+        faults_ != nullptr && faults_->anyLinkDown();
+    for (std::size_t i = 0; i < n; ++i) {
+        const VillageId v = serviceMap_.pickLive(service);
+        if (v == invalidId)
+            return invalidId;
+        if (!check_path ||
+            topo_->hasLivePath(from, villageEndpoint(v),
+                               faults_.get()))
+            return v;
+    }
+    return invalidId;
 }
 
 void
@@ -271,8 +321,17 @@ Machine::externalArrival(ServiceRequest *req)
 
     const Tick t = topNic_->ingress(curTick(), req->reqBytes);
 
-    const VillageId v = serviceMap_.pick(req->service());
     const EndpointId ext = topo_->externalEndpoint();
+    VillageId v;
+    if (degradedDispatch()) {
+        v = pickReachableVillage(req->service(), ext);
+        if (v == invalidId) {
+            shedRequest(req, t);
+            return;
+        }
+    } else {
+        v = serviceMap_.pick(req->service());
+    }
     eventq().schedule(t, [this, req, v, ext]() {
         sendIcn(ext, villageEndpoint(v), req->reqBytes,
                 MsgClass::Request,
@@ -283,10 +342,51 @@ Machine::externalArrival(ServiceRequest *req)
 void
 Machine::localCall(ServiceRequest *child, VillageId from_village)
 {
-    const VillageId v = serviceMap_.pick(child->service());
+    VillageId v;
+    if (degradedDispatch()) {
+        v = pickReachableVillage(child->service(),
+                                 villageEndpoint(from_village));
+        if (v == invalidId) {
+            shedRequest(child, curTick());
+            return;
+        }
+    } else {
+        v = serviceMap_.pick(child->service());
+    }
     sendIcn(villageEndpoint(from_village), villageEndpoint(v),
             child->reqBytes, MsgClass::Request,
             [this, child, v]() { villageIngress(child, v); });
+}
+
+void
+Machine::shedRequest(ServiceRequest *req, Tick ready_at)
+{
+    ++rejected_;
+    ++shedNoPath_;
+    req->rejected = true;
+    req->state = ReqState::Rejected;
+    req->finishedAt = curTick();
+    req->server = self_;
+    UMANY_INVARIANT(InvariantChecker::active()->onReject(*req));
+    UMANY_TRACE(TraceSink::active()->instant(
+        curTick(), self_, traceNicTrack, "nic.shed", req->id()));
+    // The error response bounces straight from the NIC — the request
+    // never crossed the ICN, so the response does not either.
+    req->respBytes = 128;
+    if (req->parent == nullptr) {
+        const Tick t = ready_at + topNic_->extLatency();
+        eventq().schedule(t,
+                          [this, req]() { onRootComplete(req); });
+    } else if (req->parent->server == self_) {
+        ServiceRequest *parent = req->parent;
+        eventq().schedule(ready_at, [this, parent, req]() {
+            deliverChildResponse(parent, req);
+        });
+    } else {
+        eventq().schedule(ready_at, [this, req]() {
+            onRemoteChildFinished(req);
+        });
+    }
 }
 
 void
@@ -489,8 +589,10 @@ Machine::runSegment(CoreId core, ServiceRequest *req)
                           : villageEndpoint(req->village);
             }
             if (dst != villageEndpoint(req->village)) {
+                // Fire-and-forget: droppable on partition (no one
+                // waits on coherence traffic).
                 sendIcn(villageEndpoint(req->village), dst, bytes,
-                        MsgClass::Coherence, []() {});
+                        MsgClass::Coherence, []() {}, []() {});
             }
         }
     }
@@ -872,20 +974,25 @@ Machine::auditInvariants(InvariantChecker &ic, bool final) const
                       states[i].busyTime),
                   static_cast<unsigned long long>(cap));
     }
-    ic.expect(net_->messagesDelivered() <= net_->messagesSent(),
-              "%s: delivered %llu messages but sent only %llu",
+    ic.expect(net_->messagesDelivered() + net_->messagesDropped() <=
+                  net_->messagesSent(),
+              "%s: resolved %llu messages but sent only %llu",
               name().c_str(),
               static_cast<unsigned long long>(
-                  net_->messagesDelivered()),
+                  net_->messagesDelivered() +
+                  net_->messagesDropped()),
               static_cast<unsigned long long>(net_->messagesSent()));
 
     if (final) {
-        ic.expect(net_->messagesSent() == net_->messagesDelivered(),
+        ic.expect(net_->messagesSent() ==
+                      net_->messagesDelivered() +
+                          net_->messagesDropped(),
                   "%s: %llu flights never delivered",
                   name().c_str(),
                   static_cast<unsigned long long>(
                       net_->messagesSent() -
-                      net_->messagesDelivered()));
+                      net_->messagesDelivered() -
+                      net_->messagesDropped()));
         for (CoreId c = 0; c < p_.numCores; ++c) {
             ic.expect(!cores_[c].busy(),
                       "%s: core %u still busy after drain",

@@ -36,6 +36,7 @@
 namespace umany
 {
 
+class FaultState;
 class InvariantChecker;
 
 /** Full configuration of one machine. */
@@ -108,6 +109,14 @@ struct MachineParams
 };
 
 /**
+ * Build the on-package topology @p p describes — the exact
+ * construction Machine performs internally. Exposed so fault-plan
+ * builders can enumerate the links/nodes of the machine they will
+ * injure without instantiating a whole package.
+ */
+std::unique_ptr<Topology> makeTopology(const MachineParams &p);
+
+/**
  * One server's processor package plus its request-execution engine.
  *
  * External integration points (set by the owning Server/ClusterSim
@@ -143,6 +152,24 @@ class Machine : public SimObject
 
     /** Register a service instance in a village (placement). */
     void installInstance(ServiceId service, VillageId village);
+
+    /** @name Fault injection @{ */
+    /**
+     * Create (on first call) and return this machine's fault state,
+     * attaching it to the network. Until something is actually
+     * marked down the armed state changes no behavior; a machine
+     * with faults never armed pays nothing at all.
+     */
+    FaultState &armFaults();
+    const FaultState *faultState() const { return faults_.get(); }
+    bool faultsArmed() const { return faults_ != nullptr; }
+
+    /** Mark a village up/down for dispatch (ServiceMap liveness). */
+    void setVillageUp(VillageId v, bool up);
+
+    /** Requests shed at the NIC for lack of a reachable instance. */
+    std::uint64_t shedRequests() const { return shedNoPath_; }
+    /** @} */
 
     /** @name Entry points @{ */
     /**
@@ -184,6 +211,7 @@ class Machine : public SimObject
     const Village &village(VillageId v) const { return villages_[v]; }
     Cluster &cluster(ClusterId c) { return clusters_[c]; }
     ServiceMap &serviceMap() { return serviceMap_; }
+    const ServiceMap &serviceMap() const { return serviceMap_; }
     Network &network() { return *net_; }
     const Network &network() const { return *net_; }
     const Topology &topology() const { return *topo_; }
@@ -232,10 +260,12 @@ class Machine : public SimObject
     std::unique_ptr<RNicTransport> rnic_;
     ServiceMap serviceMap_;
     CoherenceModel coherence_;
+    std::unique_ptr<FaultState> faults_;
 
     std::uint64_t nextSeq_ = 1;
     std::uint64_t completed_ = 0;
     std::uint64_t rejected_ = 0;
+    std::uint64_t shedNoPath_ = 0;
 
     /** @name Construction helpers @{ */
     void buildTopology();
@@ -269,9 +299,28 @@ class Machine : public SimObject
     void markIdle(CoreId core);
     /** @} */
 
-    /** Send an ICN message and run @p fn on delivery. */
+    /** @name Degraded-mode dispatch @{ */
+    /** Whether dispatch must avoid dead villages/links right now. */
+    bool degradedDispatch() const;
+    /**
+     * Round-robin pick of a live village hosting @p service that is
+     * reachable from @p from; invalidId when none survives.
+     */
+    VillageId pickReachableVillage(ServiceId service,
+                                   EndpointId from);
+    /**
+     * NIC-level rejection (no reachable instance): the request never
+     * enters the package; the error response is bounced straight
+     * from the NIC at @p ready_at.
+     */
+    void shedRequest(ServiceRequest *req, Tick ready_at);
+    /** @} */
+
+    /** Send an ICN message and run @p fn on delivery; a non-null
+     *  @p drop runs instead when the pair is partitioned. */
     void sendIcn(EndpointId src, EndpointId dst, std::uint32_t bytes,
-                 MsgClass cls, Network::DeliverFn fn);
+                 MsgClass cls, Network::DeliverFn fn,
+                 Network::DropFn drop = nullptr);
 
     /**
      * Structural conservation laws audited by the invariant checker

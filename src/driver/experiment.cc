@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "driver/report.hh"
+#include "fault/injector.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/json.hh"
 #include "obs/sampler.hh"
@@ -40,6 +41,8 @@ runExperiment(const ServiceCatalog &catalog,
     ClusterSim sim(eq, catalog, cfg.machine, cfg.cluster);
     for (const auto &[ep, threshold] : cfg.qosThresholds)
         sim.setQosThreshold(ep, threshold);
+    if (!cfg.faults.empty())
+        FaultInjector::arm(eq, sim, cfg.faults);
 
     std::unique_ptr<Sampler> sampler;
     if (cfg.obs.sampleInterval > 0) {

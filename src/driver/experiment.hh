@@ -13,6 +13,7 @@
 
 #include "arch/cluster_sim.hh"
 #include "driver/metrics.hh"
+#include "fault/fault_plan.hh"
 #include "obs/trace.hh"
 #include "stats/stats_dump.hh"
 #include "workload/loadgen.hh"
@@ -52,6 +53,8 @@ struct ExperimentConfig
     std::uint64_t seed = 0xfeedbeefull;
     /** Optional per-endpoint QoS thresholds (§6.5). */
     std::map<ServiceId, Tick> qosThresholds;
+    /** Scheduled fault events (empty = fully healthy run). */
+    FaultPlan faults;
     /** Tracing / sampling / artifact output. */
     ObsConfig obs;
 };

@@ -1,0 +1,163 @@
+#include "fault/fault_plan.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "fault/fault_state.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace umany
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::LinkDown:
+        return "link_down";
+      case FaultKind::LinkUp:
+        return "link_up";
+      case FaultKind::NodeDown:
+        return "node_down";
+      case FaultKind::VillageDown:
+        return "village_down";
+      case FaultKind::VillageUp:
+        return "village_up";
+      case FaultKind::Corruption:
+        return "corrupt";
+    }
+    return "?";
+}
+
+namespace
+{
+
+bool
+kindFromName(const std::string &name, FaultKind &out)
+{
+    for (const FaultKind k :
+         {FaultKind::LinkDown, FaultKind::LinkUp, FaultKind::NodeDown,
+          FaultKind::VillageDown, FaultKind::VillageUp,
+          FaultKind::Corruption}) {
+        if (name == faultKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Pick @p count distinct elements of @p pool (order randomized). */
+template <typename T>
+std::vector<T>
+pickDistinct(std::vector<T> pool, std::uint32_t count, Rng &rng)
+{
+    if (count > pool.size()) {
+        warn("fault plan asked for %u targets but only %zu exist; "
+             "clamping",
+             count, pool.size());
+        count = static_cast<std::uint32_t>(pool.size());
+    }
+    std::vector<T> out;
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::size_t j = rng.below(pool.size());
+        out.push_back(pool[j]);
+        pool[j] = pool.back();
+        pool.pop_back();
+    }
+    return out;
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::parse(const std::string &text)
+{
+    FaultPlan plan;
+    std::istringstream lines(text);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(lines, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        double time_us = 0.0;
+        std::string kind_name;
+        if (!(fields >> time_us))
+            continue; // Blank / comment-only line.
+        if (!(fields >> kind_name))
+            fatal("fault plan line %zu: missing kind", lineno);
+        FaultEvent e;
+        e.at = fromUs(time_us);
+        if (!kindFromName(kind_name, e.kind)) {
+            fatal("fault plan line %zu: unknown kind '%s'", lineno,
+                  kind_name.c_str());
+        }
+        if (e.kind != FaultKind::Corruption &&
+            !(fields >> e.target)) {
+            fatal("fault plan line %zu: missing target", lineno);
+        }
+        std::string opt;
+        while (fields >> opt) {
+            if (opt.rfind("server=", 0) == 0) {
+                e.server = static_cast<ServerId>(
+                    std::strtoul(opt.c_str() + 7, nullptr, 10));
+            } else if (opt.rfind("p=", 0) == 0) {
+                e.prob = std::strtod(opt.c_str() + 2, nullptr);
+            } else {
+                fatal("fault plan line %zu: bad option '%s'", lineno,
+                      opt.c_str());
+            }
+        }
+        plan.add(e);
+    }
+    return plan;
+}
+
+FaultPlan
+randomLinkFailures(const Topology &topo, std::uint32_t count,
+                   Tick at, std::uint64_t seed, ServerId server)
+{
+    Rng rng(streamSeed(seed, rngstream::fault));
+    FaultPlan plan;
+    for (const LinkId id :
+         pickDistinct(fabricLinks(topo), count, rng)) {
+        plan.add({at, FaultKind::LinkDown, server, id, 0.0});
+    }
+    return plan;
+}
+
+FaultPlan
+randomNodeFailures(const Topology &topo, std::uint32_t count,
+                   Tick at, std::uint64_t seed, ServerId server)
+{
+    Rng rng(streamSeed(seed, rngstream::fault));
+    FaultPlan plan;
+    for (const NodeId id :
+         pickDistinct(fabricNodes(topo), count, rng)) {
+        plan.add({at, FaultKind::NodeDown, server,
+                  static_cast<std::uint32_t>(id), 0.0});
+    }
+    return plan;
+}
+
+FaultPlan
+randomVillageFailures(std::uint32_t numVillages, std::uint32_t count,
+                      Tick at, std::uint64_t seed, ServerId server)
+{
+    std::vector<std::uint32_t> pool(numVillages);
+    for (std::uint32_t v = 0; v < numVillages; ++v)
+        pool[v] = v;
+    Rng rng(streamSeed(seed, rngstream::fault));
+    FaultPlan plan;
+    for (const std::uint32_t v : pickDistinct(pool, count, rng))
+        plan.add({at, FaultKind::VillageDown, server, v, 0.0});
+    return plan;
+}
+
+} // namespace umany

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * FaultPlan: a deterministic schedule of fault events applied to the
+ * cluster at fixed ticks — link down/up, NH (switch) down, village
+ * down/up, and message-corruption probability changes.
+ *
+ * Plans are data, not behavior: they can be built programmatically,
+ * generated from a seeded RNG stream (the builders below), or parsed
+ * from a small text format. The FaultInjector (fault/injector.hh)
+ * turns a plan into scheduled events against a ClusterSim.
+ */
+
+#ifndef UMANY_FAULT_FAULT_PLAN_HH
+#define UMANY_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace umany
+{
+
+class Topology;
+
+/** What one FaultEvent does when it fires. */
+enum class FaultKind : std::uint8_t
+{
+    LinkDown,    //!< target = LinkId
+    LinkUp,      //!< target = LinkId
+    NodeDown,    //!< target = NH NodeId; kills every incident link
+    VillageDown, //!< target = VillageId; dispatch avoids it
+    VillageUp,   //!< target = VillageId
+    Corruption,  //!< prob = per-delivery corruption probability
+};
+
+/** Printable name of @p kind (the parse() keyword). */
+const char *faultKindName(FaultKind kind);
+
+/** One scheduled fault. */
+struct FaultEvent
+{
+    Tick at = 0;
+    FaultKind kind = FaultKind::LinkDown;
+    /** Server whose package is affected; invalidId = every server. */
+    ServerId server = invalidId;
+    /** Link / node / village id (kind-dependent; see FaultKind). */
+    std::uint32_t target = 0;
+    /** Corruption probability (FaultKind::Corruption only). */
+    double prob = 0.0;
+};
+
+/** An ordered (by injector, not by construction) set of events. */
+struct FaultPlan
+{
+    std::vector<FaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+
+    FaultPlan &
+    add(const FaultEvent &e)
+    {
+        events.push_back(e);
+        return *this;
+    }
+
+    /**
+     * Parse a plan from text, one event per line:
+     *
+     *   <time_us> <kind> <target> [server=<N>] [p=<prob>]
+     *
+     * where <kind> is one of link_down, link_up, node_down,
+     * village_down, village_up, corrupt. '#' starts a comment.
+     * Malformed input is fatal (plans are trusted config).
+     */
+    static FaultPlan parse(const std::string &text);
+};
+
+/**
+ * @name Seeded plan builders
+ * Each draws from its own Rng stream (rngstream::fault salted with
+ * @p seed) so the same seed always fails the same components,
+ * independent of every other stream in the run.
+ * @{
+ */
+
+/** Fail @p count distinct fabric links of @p topo at @p at. */
+FaultPlan randomLinkFailures(const Topology &topo,
+                             std::uint32_t count, Tick at,
+                             std::uint64_t seed,
+                             ServerId server = invalidId);
+
+/** Fail @p count distinct NH nodes of @p topo at @p at. */
+FaultPlan randomNodeFailures(const Topology &topo,
+                             std::uint32_t count, Tick at,
+                             std::uint64_t seed,
+                             ServerId server = invalidId);
+
+/** Fail @p count distinct villages (of @p numVillages) at @p at. */
+FaultPlan randomVillageFailures(std::uint32_t numVillages,
+                                std::uint32_t count, Tick at,
+                                std::uint64_t seed,
+                                ServerId server = invalidId);
+/** @} */
+
+} // namespace umany
+
+#endif // UMANY_FAULT_FAULT_PLAN_HH

@@ -1,0 +1,72 @@
+#include "fault/fault_state.hh"
+
+#include <algorithm>
+
+#include "noc/topology.hh"
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+FaultState::FaultState(const Topology &topo)
+    : up_(topo.links().size(), 1)
+{
+}
+
+void
+FaultState::setLinkUp(LinkId id, bool up)
+{
+    if (id >= up_.size())
+        fatal("fault target link %u out of range (topology has %zu "
+              "links)",
+              id, up_.size());
+    if ((up_[id] != 0) == up)
+        return;
+    up_[id] = up ? 1 : 0;
+    if (up)
+        --deadLinks_;
+    else
+        ++deadLinks_;
+}
+
+std::vector<LinkId>
+linksTouchingNode(const Topology &topo, NodeId node)
+{
+    std::vector<LinkId> out;
+    const auto &links = topo.links();
+    for (std::size_t i = 0; i < links.size(); ++i) {
+        if (links[i].from == node || links[i].to == node)
+            out.push_back(static_cast<LinkId>(i));
+    }
+    return out;
+}
+
+std::vector<NodeId>
+fabricNodes(const Topology &topo)
+{
+    std::vector<NodeId> nodes;
+    for (const LinkSpec &l : topo.links()) {
+        if (l.access)
+            continue;
+        nodes.push_back(l.from);
+        nodes.push_back(l.to);
+    }
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()),
+                nodes.end());
+    return nodes;
+}
+
+std::vector<LinkId>
+fabricLinks(const Topology &topo)
+{
+    std::vector<LinkId> out;
+    const auto &links = topo.links();
+    for (std::size_t i = 0; i < links.size(); ++i) {
+        if (!links[i].access)
+            out.push_back(static_cast<LinkId>(i));
+    }
+    return out;
+}
+
+} // namespace umany

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * FaultInjector: schedules a FaultPlan's events against a running
+ * ClusterSim. Arming attaches a FaultState to every affected
+ * machine up front (zero behavioral cost until something actually
+ * goes down) and registers one event-queue callback per fault.
+ */
+
+#ifndef UMANY_FAULT_INJECTOR_HH
+#define UMANY_FAULT_INJECTOR_HH
+
+#include "fault/fault_plan.hh"
+
+namespace umany
+{
+
+class ClusterSim;
+class EventQueue;
+
+class FaultInjector
+{
+  public:
+    /**
+     * Arm @p sim with @p plan: every machine named by the plan (or
+     * all machines, for cluster-wide events) gets its FaultState
+     * created now, and each event is scheduled on @p eq at its tick.
+     * Scheduled callbacks are self-contained — the injector object
+     * itself need not outlive the call.
+     */
+    static void arm(EventQueue &eq, ClusterSim &sim,
+                    const FaultPlan &plan);
+
+    /** Apply one event to @p sim immediately (tests, REPL use). */
+    static void applyNow(ClusterSim &sim, const FaultEvent &e);
+};
+
+} // namespace umany
+
+#endif // UMANY_FAULT_INJECTOR_HH

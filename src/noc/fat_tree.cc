@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault_state.hh"
 #include "sim/logging.hh"
 
 namespace umany
@@ -130,15 +131,16 @@ FatTree::levelOf(std::uint32_t node) const
     return lvl;
 }
 
-void
+bool
 FatTree::route(EndpointId src, EndpointId dst, Rng &,
-               std::vector<LinkId> &out) const
+               std::vector<LinkId> &out,
+               const FaultState *faults) const
 {
     out.clear();
     if (src >= endpointCount() || dst >= endpointCount())
         panic("fat tree endpoint out of range (%u, %u)", src, dst);
     if (src == dst)
-        return;
+        return true;
 
     const bool src_ext = src == externalEndpoint();
     const bool dst_ext = dst == externalEndpoint();
@@ -171,6 +173,19 @@ FatTree::route(EndpointId src, EndpointId dst, Rng &,
         out.push_back(nicUp_);
     else
         out.push_back(accessDown_[dst]);
+
+    // The tree has exactly one path per endpoint pair: any dead link
+    // on it partitions the pair — the redundancy contrast with the
+    // leaf-spine's ECMP that fig_resilience quantifies.
+    if (faults != nullptr && faults->anyLinkDown()) {
+        for (const LinkId id : out) {
+            if (!faults->linkUp(id)) {
+                out.clear();
+                return false;
+            }
+        }
+    }
+    return true;
 }
 
 } // namespace umany

@@ -40,8 +40,9 @@ class FatTree : public Topology
     std::size_t endpointCount() const override;
     EndpointId externalEndpoint() const override;
 
-    void route(EndpointId src, EndpointId dst, Rng &rng,
-               std::vector<LinkId> &out) const override;
+    bool route(EndpointId src, EndpointId dst, Rng &rng,
+               std::vector<LinkId> &out,
+               const FaultState *faults = nullptr) const override;
 
     std::uint32_t numLeaves() const { return p_.numLeaves; }
     std::uint32_t numSwitches() const { return numSwitches_; }

@@ -1,5 +1,6 @@
 #include "noc/leaf_spine.hh"
 
+#include "fault/fault_state.hh"
 #include "sim/logging.hh"
 
 namespace umany
@@ -132,43 +133,61 @@ LeafSpine::pathDiversity(std::uint32_t leaf_a, std::uint32_t leaf_b) const
            p_.spinesPerPod;
 }
 
-void
+bool
 LeafSpine::route(EndpointId src, EndpointId dst, Rng &rng,
-                 std::vector<LinkId> &out) const
+                 std::vector<LinkId> &out,
+                 const FaultState *faults) const
 {
     out.clear();
     if (src >= endpointCount() || dst >= endpointCount())
         panic("leaf-spine endpoint out of range (%u, %u)", src, dst);
     if (src == dst)
-        return;
+        return true;
+
+    // Only pay for liveness checks when something is actually down;
+    // the healthy path (faults null or all-up) keeps the draw
+    // sequence identical to the original ECMP routing.
+    const bool faulty = faults != nullptr && faults->anyLinkDown();
+    auto live = [&](LinkId id) {
+        return !faulty || faults->linkUp(id);
+    };
 
     const bool src_ext = src == externalEndpoint();
     const bool dst_ext = dst == externalEndpoint();
 
     if (src_ext && dst_ext)
-        return;
+        return true;
 
-    // External traffic goes NIC <-> leaf directly.
+    // External traffic goes NIC <-> leaf directly; the NIC-to-leaf
+    // attach has no path diversity, so a dead link partitions the
+    // leaf from the outside world.
     if (src_ext) {
         const std::uint32_t leaf = leafOf(dst);
+        if (!live(nicToLeaf_[leaf]) || !live(accessDown_[dst]))
+            return false;
         out.push_back(nicToLeaf_[leaf]);
         out.push_back(accessDown_[dst]);
-        return;
+        return true;
     }
     if (dst_ext) {
         const std::uint32_t leaf = leafOf(src);
+        if (!live(accessUp_[src]) || !live(leafToNic_[leaf]))
+            return false;
         out.push_back(accessUp_[src]);
         out.push_back(leafToNic_[leaf]);
-        return;
+        return true;
     }
 
     const std::uint32_t src_leaf = leafOf(src);
     const std::uint32_t dst_leaf = leafOf(dst);
 
+    if (!live(accessUp_[src]) || !live(accessDown_[dst]))
+        return false;
+
     out.push_back(accessUp_[src]);
     if (src_leaf == dst_leaf) {
         out.push_back(accessDown_[dst]);
-        return;
+        return true;
     }
 
     const std::uint32_t src_pod = podOf(src_leaf);
@@ -178,20 +197,76 @@ LeafSpine::route(EndpointId src, EndpointId dst, Rng &rng,
     };
 
     if (src_pod == dst_pod) {
-        // Two NH hops via a random pod spine (ECMP).
-        const std::uint32_t s =
-            static_cast<std::uint32_t>(rng.below(p_.spinesPerPod));
+        // Two NH hops via a pod spine (ECMP). Under faults, pick
+        // uniformly among the spines whose both legs survive.
+        std::uint32_t s;
+        if (!faulty) {
+            s = static_cast<std::uint32_t>(
+                rng.below(p_.spinesPerPod));
+        } else {
+            std::vector<std::uint32_t> cand;
+            for (std::uint32_t i = 0; i < p_.spinesPerPod; ++i) {
+                if (live(leafToSpine_[spineIdx(src_leaf, i)]) &&
+                    live(spineToLeaf_[spineIdx(dst_leaf, i)]))
+                    cand.push_back(i);
+            }
+            if (cand.empty()) {
+                out.clear();
+                return false;
+            }
+            s = cand[rng.below(cand.size())];
+        }
         out.push_back(leafToSpine_[spineIdx(src_leaf, s)]);
         out.push_back(spineToLeaf_[spineIdx(dst_leaf, s)]);
     } else {
-        // Four NH hops: up to a random spine, across a random L3,
-        // down via a random spine in the destination pod.
-        const std::uint32_t s_up =
-            static_cast<std::uint32_t>(rng.below(p_.spinesPerPod));
-        const std::uint32_t l3 =
-            static_cast<std::uint32_t>(rng.below(p_.l3Count));
-        const std::uint32_t s_dn =
-            static_cast<std::uint32_t>(rng.below(p_.spinesPerPod));
+        // Four NH hops: up to a spine, across an L3, down via a
+        // spine in the destination pod. Under faults, enumerate the
+        // (s_up, l3, s_dn) combinations whose four fabric links all
+        // survive and pick uniformly (at the paper's scale that is
+        // at most 4*8*4 = 128 candidates).
+        std::uint32_t s_up, l3, s_dn;
+        if (!faulty) {
+            s_up = static_cast<std::uint32_t>(
+                rng.below(p_.spinesPerPod));
+            l3 = static_cast<std::uint32_t>(rng.below(p_.l3Count));
+            s_dn = static_cast<std::uint32_t>(
+                rng.below(p_.spinesPerPod));
+        } else {
+            struct Combo
+            {
+                std::uint32_t up, mid, dn;
+            };
+            std::vector<Combo> cand;
+            for (std::uint32_t u = 0; u < p_.spinesPerPod; ++u) {
+                const std::uint32_t su = src_pod * p_.spinesPerPod + u;
+                if (!live(leafToSpine_[spineIdx(src_leaf, u)]))
+                    continue;
+                for (std::uint32_t k = 0; k < p_.l3Count; ++k) {
+                    if (!live(spineToL3_[static_cast<std::size_t>(su) *
+                                             p_.l3Count + k]))
+                        continue;
+                    for (std::uint32_t d = 0; d < p_.spinesPerPod;
+                         ++d) {
+                        const std::uint32_t sd =
+                            dst_pod * p_.spinesPerPod + d;
+                        if (!live(l3ToSpine_
+                                      [static_cast<std::size_t>(sd) *
+                                           p_.l3Count + k]) ||
+                            !live(spineToLeaf_[spineIdx(dst_leaf, d)]))
+                            continue;
+                        cand.push_back({u, k, d});
+                    }
+                }
+            }
+            if (cand.empty()) {
+                out.clear();
+                return false;
+            }
+            const Combo &c = cand[rng.below(cand.size())];
+            s_up = c.up;
+            l3 = c.mid;
+            s_dn = c.dn;
+        }
         const std::uint32_t spine_up = src_pod * p_.spinesPerPod + s_up;
         const std::uint32_t spine_dn = dst_pod * p_.spinesPerPod + s_dn;
         out.push_back(leafToSpine_[spineIdx(src_leaf, s_up)]);
@@ -204,6 +279,7 @@ LeafSpine::route(EndpointId src, EndpointId dst, Rng &rng,
         out.push_back(spineToLeaf_[spineIdx(dst_leaf, s_dn)]);
     }
     out.push_back(accessDown_[dst]);
+    return true;
 }
 
 } // namespace umany

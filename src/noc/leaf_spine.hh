@@ -44,8 +44,9 @@ class LeafSpine : public Topology
     std::size_t endpointCount() const override;
     EndpointId externalEndpoint() const override;
 
-    void route(EndpointId src, EndpointId dst, Rng &rng,
-               std::vector<LinkId> &out) const override;
+    bool route(EndpointId src, EndpointId dst, Rng &rng,
+               std::vector<LinkId> &out,
+               const FaultState *faults = nullptr) const override;
 
     std::uint32_t podOf(std::uint32_t leaf) const;
 

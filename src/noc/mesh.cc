@@ -1,5 +1,6 @@
 #include "noc/mesh.hh"
 
+#include "fault/fault_state.hh"
 #include "sim/logging.hh"
 
 namespace umany
@@ -111,15 +112,16 @@ Mesh2D::routerPath(std::uint32_t from, std::uint32_t to,
     }
 }
 
-void
+bool
 Mesh2D::route(EndpointId src, EndpointId dst, Rng &,
-              std::vector<LinkId> &out) const
+              std::vector<LinkId> &out,
+              const FaultState *faults) const
 {
     out.clear();
     if (src >= endpointCount() || dst >= endpointCount())
         panic("mesh endpoint out of range (%u, %u)", src, dst);
     if (src == dst)
-        return;
+        return true;
 
     const bool src_ext = src == externalEndpoint();
     const bool dst_ext = dst == externalEndpoint();
@@ -135,6 +137,18 @@ Mesh2D::route(EndpointId src, EndpointId dst, Rng &,
         out.push_back(nicUp_);
     else
         out.push_back(accessDown_[dst]);
+
+    // XY routing is non-adaptive: the single dimension-ordered path
+    // either survives intact or the pair is partitioned.
+    if (faults != nullptr && faults->anyLinkDown()) {
+        for (const LinkId id : out) {
+            if (!faults->linkUp(id)) {
+                out.clear();
+                return false;
+            }
+        }
+    }
+    return true;
 }
 
 } // namespace umany

@@ -36,8 +36,9 @@ class Mesh2D : public Topology
     std::size_t endpointCount() const override;
     EndpointId externalEndpoint() const override;
 
-    void route(EndpointId src, EndpointId dst, Rng &rng,
-               std::vector<LinkId> &out) const override;
+    bool route(EndpointId src, EndpointId dst, Rng &rng,
+               std::vector<LinkId> &out,
+               const FaultState *faults = nullptr) const override;
 
     std::uint32_t width() const { return p_.width; }
     std::uint32_t height() const { return p_.height; }

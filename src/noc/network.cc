@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "fault/fault_state.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
 #include "validate/invariants.hh"
@@ -30,7 +31,8 @@ msgClassName(MsgClass cls)
 
 Network::Network(std::string name, EventQueue &eq, const Topology &topo,
                  std::uint64_t seed)
-    : SimObject(std::move(name), eq), topo_(topo), rng_(seed)
+    : SimObject(std::move(name), eq), topo_(topo), rng_(seed),
+      faultRng_(streamSeed(seed, rngstream::fault))
 {
     state_.assign(topo_.links().size(), LinkState{});
 }
@@ -38,15 +40,43 @@ Network::Network(std::string name, EventQueue &eq, const Topology &topo,
 void
 Network::send(const Message &msg, DeliverFn on_deliver)
 {
+    send(msg, std::move(on_deliver), DropFn{});
+}
+
+void
+Network::send(const Message &msg, DeliverFn on_deliver,
+              DropFn on_drop)
+{
     ++sent_;
     UMANY_INVARIANT(InvariantChecker::active()->onNetSend());
     auto flight = std::make_shared<Flight>();
     flight->msg = msg;
     flight->start = curTick();
+    flight->epoch = epoch_;
     flight->deliver = std::move(on_deliver);
-    topo_.route(msg.src, msg.dst, rng_, flight->path);
+    const bool routed =
+        topo_.route(msg.src, msg.dst, rng_, flight->path, faults_);
+    if (!routed) {
+        // Partition detected at injection time.
+        if (on_drop) {
+            ++droppedNoPath_;
+            UMANY_INVARIANT(InvariantChecker::active()->onNetDrop());
+            UMANY_TRACE(TraceSink::active()->instant(
+                curTick(), tracePid_, traceIcnTrack, "icn.drop",
+                (static_cast<std::uint64_t>(msg.src) << 32) | msg.dst,
+                static_cast<double>(msg.bytes)));
+            eventq().scheduleAfter(0, std::move(on_drop));
+        } else {
+            degrade(std::move(flight));
+        }
+        return;
+    }
     if (flight->path.empty()) {
-        // Same-endpoint delivery: immediate.
+        // Same-endpoint delivery: immediate. A routing failure must
+        // never masquerade as this zero-latency path.
+        if (msg.src != msg.dst)
+            panic("empty route for distinct endpoints %u -> %u",
+                  msg.src, msg.dst);
         ++delivered_;
         UMANY_INVARIANT(InvariantChecker::active()->onNetDeliver());
         latency_.add(0);
@@ -63,6 +93,12 @@ void
 Network::hop(std::shared_ptr<Flight> flight)
 {
     const LinkId id = flight->path[flight->hop];
+    if (faults_ != nullptr && !faults_->linkUp(id)) {
+        // The next link died while the message was in flight:
+        // retransmit from the source over the surviving paths.
+        retransmit(std::move(flight));
+        return;
+    }
     const LinkSpec &spec = topo_.links()[id];
     LinkState &st = state_[id];
 
@@ -92,17 +128,74 @@ Network::hop(std::shared_ptr<Flight> flight)
     // destroyed event queue are freed rather than leaked.
     eventq().schedule(arrival, [this, f = std::move(flight)]() {
         if (f->hop >= f->path.size()) {
-            ++delivered_;
-            UMANY_INVARIANT(
-                InvariantChecker::active()->onNetDeliver());
-            latency_.add(curTick() - f->start);
-            queueDelay_.add(f->queued);
-            traceDelivery(*f);
-            f->deliver();
+            if (faults_ != nullptr &&
+                faults_->corruptProb() > 0.0 &&
+                faultRng_.chance(faults_->corruptProb())) {
+                if (f->epoch == epoch_)
+                    ++corruptRetx_;
+                retransmit(f);
+                return;
+            }
+            finishDelivery(*f);
         } else {
             hop(f);
         }
     });
+}
+
+void
+Network::retransmit(std::shared_ptr<Flight> flight)
+{
+    flight->retx += 1;
+    if (flight->retx > maxRetransmits) {
+        degrade(std::move(flight));
+        return;
+    }
+    if (flight->epoch == epoch_)
+        ++reroutes_;
+    if (!topo_.route(flight->msg.src, flight->msg.dst, rng_,
+                     flight->path, faults_)) {
+        degrade(std::move(flight));
+        return;
+    }
+    flight->hop = 0;
+    hop(std::move(flight));
+}
+
+void
+Network::degrade(std::shared_ptr<Flight> flight)
+{
+    // No surviving path (or retransmissions exhausted): model the
+    // end-host loss-recovery timeout as a fixed penalty instead of
+    // losing the message, so request-lifecycle traffic is delayed
+    // but conserved.
+    if (flight->epoch == epoch_)
+        ++degraded_;
+    UMANY_TRACE(TraceSink::active()->instant(
+        curTick(), tracePid_, traceIcnTrack, "icn.degraded",
+        (static_cast<std::uint64_t>(flight->msg.src) << 32) |
+            flight->msg.dst,
+        static_cast<double>(flight->msg.bytes)));
+    eventq().scheduleAfter(degradedPenalty,
+                           [this, f = std::move(flight)]() {
+                               finishDelivery(*f);
+                           });
+}
+
+void
+Network::finishDelivery(const Flight &flight)
+{
+    UMANY_INVARIANT(InvariantChecker::active()->onNetDeliver());
+    // Only same-window flights count toward window stats: a message
+    // in flight across clearStats() would otherwise record a
+    // delivery without a matching send.
+    if (flight.epoch == epoch_) {
+        ++delivered_;
+        latency_.add(curTick() - flight.start);
+        queueDelay_.add(flight.queued);
+    }
+    traceDelivery(flight);
+    flight.deliver();
 }
 
 void
@@ -122,8 +215,8 @@ Network::traceDelivery(const Flight &flight)
 double
 Network::meanLinkUtilization() const
 {
-    const Tick now = curTick();
-    if (now == 0)
+    const Tick window = curTick() - statsEpochTick_;
+    if (window == 0)
         return 0.0;
     double total = 0.0;
     std::size_t n = 0;
@@ -131,7 +224,7 @@ Network::meanLinkUtilization() const
         if (topo_.links()[i].access)
             continue;
         total += static_cast<double>(state_[i].busyTime) /
-                 static_cast<double>(now);
+                 static_cast<double>(window);
         ++n;
     }
     return n ? total / static_cast<double>(n) : 0.0;
@@ -140,15 +233,15 @@ Network::meanLinkUtilization() const
 double
 Network::maxLinkUtilization() const
 {
-    const Tick now = curTick();
-    if (now == 0)
+    const Tick window = curTick() - statsEpochTick_;
+    if (window == 0)
         return 0.0;
     double best = 0.0;
     for (std::size_t i = 0; i < state_.size(); ++i) {
         if (topo_.links()[i].access)
             continue;
         best = std::max(best, static_cast<double>(state_[i].busyTime) /
-                                  static_cast<double>(now));
+                                  static_cast<double>(window));
     }
     return best;
 }
@@ -164,8 +257,16 @@ Network::clearStats()
     }
     sent_ = 0;
     delivered_ = 0;
+    droppedNoPath_ = 0;
+    reroutes_ = 0;
+    corruptRetx_ = 0;
+    degraded_ = 0;
     latency_.clear();
     queueDelay_.clear();
+    // Utilization denominators run from here, and flights sent
+    // before the clear no longer count as deliveries in this window.
+    statsEpochTick_ = curTick();
+    ++epoch_;
 }
 
 } // namespace umany

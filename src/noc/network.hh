@@ -34,6 +34,7 @@ class Network : public SimObject
 {
   public:
     using DeliverFn = std::function<void()>;
+    using DropFn = std::function<void()>;
 
     /**
      * @param topo Topology to route over; must outlive the network.
@@ -50,10 +51,32 @@ class Network : public SimObject
     void setTracePid(std::uint32_t pid) { tracePid_ = pid; }
 
     /**
+     * Attach fault state (null detaches). Routing then excludes
+     * dead links, mid-flight link deaths retransmit from the source,
+     * and deliveries may be corrupted-and-retransmitted. A null or
+     * all-up state costs one pointer/flag test per hop.
+     */
+    void setFaultState(const FaultState *faults) { faults_ = faults; }
+    const FaultState *faultState() const { return faults_; }
+
+    /**
      * Send a message; @p on_deliver runs when it arrives at the
      * destination endpoint.
+     *
+     * When the pair is partitioned (possible only with fault state
+     * attached) and no @p on_drop was given, delivery degrades to a
+     * fixed loss-recovery penalty instead of dropping, so lifecycle
+     * messages are late but never lost.
      */
     void send(const Message &msg, DeliverFn on_deliver);
+
+    /**
+     * Send variant for traffic that may be dropped on partition:
+     * @p on_drop (if non-null) runs instead of @p on_deliver when no
+     * live path exists at injection time.
+     */
+    void send(const Message &msg, DeliverFn on_deliver,
+              DropFn on_drop);
 
     /** Contention-free latency oracle for this topology. */
     Tick
@@ -68,31 +91,61 @@ class Network : public SimObject
     /** @name Statistics @{ */
     std::uint64_t messagesDelivered() const { return delivered_; }
     std::uint64_t messagesSent() const { return sent_; }
+    /** Messages dropped for lack of a live path (droppable sends). */
+    std::uint64_t messagesDropped() const { return droppedNoPath_; }
+    /** Source retransmissions after a mid-flight link death. */
+    std::uint64_t reroutes() const { return reroutes_; }
+    /** Retransmissions caused by delivery corruption. */
+    std::uint64_t corruptRetransmits() const { return corruptRetx_; }
+    /** Deliveries that fell back to the degraded fixed penalty. */
+    std::uint64_t degradedDeliveries() const { return degraded_; }
     const Histogram &latencyHist() const { return latency_; }
     const Histogram &queueDelayHist() const { return queueDelay_; }
     const std::vector<LinkState> &linkStates() const { return state_; }
 
-    /** Mean link utilization over [0, now] across non-access links. */
+    /**
+     * Mean utilization across non-access links over the current
+     * stats window [statsEpoch, now].
+     */
     double meanLinkUtilization() const;
 
-    /** Highest single-link utilization over [0, now]. */
+    /** Highest single-link utilization over the stats window. */
     double maxLinkUtilization() const;
     /** @} */
 
-    /** Clear statistics (not in-flight messages). */
+    /**
+     * Clear statistics and start a new stats window at the current
+     * tick. Messages in flight across the clear complete but are not
+     * counted or recorded in the new window (their send was counted
+     * in the old one).
+     */
     void clearStats();
 
   private:
     const Topology &topo_;
     Rng rng_;
+    Rng faultRng_;  //!< Corruption draws; untouched when disabled.
     bool contention_ = true;
     std::uint32_t tracePid_ = 0;
+    const FaultState *faults_ = nullptr;
 
     std::vector<LinkState> state_;
     std::uint64_t sent_ = 0;
     std::uint64_t delivered_ = 0;
+    std::uint64_t droppedNoPath_ = 0;
+    std::uint64_t reroutes_ = 0;
+    std::uint64_t corruptRetx_ = 0;
+    std::uint64_t degraded_ = 0;
     Histogram latency_;     //!< End-to-end message latency (ticks).
     Histogram queueDelay_;  //!< Total per-message wait-for-link time.
+
+    Tick statsEpochTick_ = 0;     //!< Start of the stats window.
+    std::uint64_t epoch_ = 0;     //!< Bumped by clearStats().
+
+    /** Retransmission cap before degrading (loss-recovery bound). */
+    static constexpr std::uint32_t maxRetransmits = 8;
+    /** Fixed end-host loss-recovery penalty for degraded delivery. */
+    static constexpr Tick degradedPenalty = 25 * tickPerUs;
 
     struct Flight
     {
@@ -101,10 +154,15 @@ class Network : public SimObject
         std::size_t hop = 0;
         Tick start = 0;
         Tick queued = 0;
+        std::uint64_t epoch = 0;   //!< Stats window it was sent in.
+        std::uint32_t retx = 0;    //!< Retransmissions so far.
         DeliverFn deliver;
     };
 
     void hop(std::shared_ptr<Flight> flight);
+    void retransmit(std::shared_ptr<Flight> flight);
+    void degrade(std::shared_ptr<Flight> flight);
+    void finishDelivery(const Flight &flight);
     void traceDelivery(const Flight &flight);
 };
 

@@ -21,6 +21,15 @@ Topology::addLink(NodeId from, NodeId to, Tick latency,
     return static_cast<LinkId>(links_.size() - 1);
 }
 
+bool
+Topology::hasLivePath(EndpointId src, EndpointId dst,
+                      const FaultState *faults) const
+{
+    Rng rng(0x5eedull);
+    std::vector<LinkId> path;
+    return route(src, dst, rng, path, faults);
+}
+
 std::size_t
 Topology::hopCount(EndpointId src, EndpointId dst) const
 {

@@ -20,6 +20,8 @@
 namespace umany
 {
 
+class FaultState;
+
 /**
  * Base class for on-package topologies.
  *
@@ -49,10 +51,29 @@ class Topology
     /**
      * Compute the link path from @p src to @p dst.
      *
+     * With @p faults non-null, dead links are excluded: topologies
+     * with path diversity (leaf-spine ECMP) pick uniformly among the
+     * surviving equal-cost paths; deterministic topologies fail when
+     * any link on their only path is down. With @p faults null the
+     * routing (including the RNG draw sequence) is exactly the
+     * healthy-package behavior.
+     *
      * @param out Cleared and filled with the LinkIds in order.
+     * @return true when a live path exists (possibly empty for
+     *         src == dst); false when the pair is partitioned —
+     *         @p out is left empty in that case.
      */
-    virtual void route(EndpointId src, EndpointId dst, Rng &rng,
-                       std::vector<LinkId> &out) const = 0;
+    virtual bool route(EndpointId src, EndpointId dst, Rng &rng,
+                       std::vector<LinkId> &out,
+                       const FaultState *faults = nullptr) const = 0;
+
+    /**
+     * Whether any live path connects @p src to @p dst under
+     * @p faults. Uses a private RNG so callers' stream positions are
+     * unaffected.
+     */
+    bool hasLivePath(EndpointId src, EndpointId dst,
+                     const FaultState *faults) const;
 
     /** All links in the topology. */
     const std::vector<LinkSpec> &links() const { return links_; }

@@ -35,6 +35,8 @@ trackName(std::uint64_t tid)
         return "icn";
     if (tid == traceCounterTrack)
         return "counters";
+    if (tid == traceClientTrack)
+        return "client";
     return strprintf("village %llu",
                      static_cast<unsigned long long>(tid));
 }

@@ -97,6 +97,9 @@ constexpr std::uint64_t traceDispatcherTrack = 0x300000;
 constexpr std::uint64_t traceNicTrack = 0x300001;
 constexpr std::uint64_t traceIcnTrack = 0x300002;
 constexpr std::uint64_t traceCounterTrack = 0x300003;
+/** Client-side (load generator) recovery events: timeouts,
+ *  retries, give-ups. The pid is the server the attempt targeted. */
+constexpr std::uint64_t traceClientTrack = 0x300004;
 
 constexpr std::uint64_t
 traceVillageTrack(VillageId v)

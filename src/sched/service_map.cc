@@ -34,6 +34,39 @@ ServiceMap::pick(ServiceId service)
     return v;
 }
 
+VillageId
+ServiceMap::pickLive(ServiceId service)
+{
+    if (!hasService(service))
+        panic("ServiceMap: no instance of service %u", service);
+    ++lookups_;
+    Entry &e = entries_[service];
+    for (std::size_t i = 0; i < e.villages.size(); ++i) {
+        const VillageId v = e.villages[e.next % e.villages.size()];
+        e.next = (e.next + 1) % e.villages.size();
+        if (villageUp(v))
+            return v;
+    }
+    return invalidId;
+}
+
+void
+ServiceMap::setVillageUp(VillageId village, bool up)
+{
+    if (village >= villageDown_.size()) {
+        if (up)
+            return;
+        villageDown_.resize(village + 1, 0);
+    }
+    if ((villageDown_[village] == 0) == up)
+        return;
+    villageDown_[village] = up ? 0 : 1;
+    if (up)
+        --downCount_;
+    else
+        ++downCount_;
+}
+
 const std::vector<VillageId> &
 ServiceMap::villagesOf(ServiceId service) const
 {

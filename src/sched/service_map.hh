@@ -29,6 +29,27 @@ class ServiceMap
     /** Round-robin choice among the hosting villages. */
     VillageId pick(ServiceId service);
 
+    /**
+     * Round-robin choice skipping villages marked down; returns
+     * invalidId when no live instance exists. Only used when the
+     * machine is degraded — pick() keeps the healthy arithmetic.
+     */
+    VillageId pickLive(ServiceId service);
+
+    /** Mark a village up/down for re-dispatch purposes. */
+    void setVillageUp(VillageId village, bool up);
+
+    /** Whether @p village is accepting dispatches. */
+    bool
+    villageUp(VillageId village) const
+    {
+        return village >= villageDown_.size() ||
+               villageDown_[village] == 0;
+    }
+
+    /** Number of villages currently marked down. */
+    std::size_t villagesDown() const { return downCount_; }
+
     /** All villages hosting @p service. */
     const std::vector<VillageId> &villagesOf(ServiceId service) const;
 
@@ -44,6 +65,8 @@ class ServiceMap
         std::size_t next = 0;
     };
     std::vector<Entry> entries_; //!< Indexed by ServiceId.
+    std::vector<std::uint8_t> villageDown_; //!< Indexed by VillageId.
+    std::size_t downCount_ = 0;
     std::uint64_t lookups_ = 0;
 
     static const std::vector<VillageId> emptyList_;

@@ -41,6 +41,7 @@ constexpr std::uint64_t network = 0x4e4f4332u;    //!< "NOC2"
 constexpr std::uint64_t swqueue = 0x53575130u;    //!< "SWQ0"
 constexpr std::uint64_t rnic = 0x524e4943u;       //!< "RNIC"
 constexpr std::uint64_t coherence = 0x44495254u;  //!< "DIRT"
+constexpr std::uint64_t fault = 0x464c5430u;      //!< "FLT0"
 } // namespace rngstream
 
 /** xoshiro256++ PRNG with splitmix64 seeding. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "arch/cluster_sim.hh"
+#include "fault/fault_state.hh"
 #include "obs/json.hh"
 #include "sim/logging.hh"
 
@@ -113,6 +114,24 @@ collectStats(ClusterSim &sim)
           sim.requestCpuUtilization().mean(),
           "mean per-request CPU utilization (sec 3.3)");
 
+    // Recovery statistics only exist when the client-side recovery
+    // policy is on: adding them unconditionally would change every
+    // healthy run's byte-compared golden artifact.
+    if (sim.recoveryEnabled()) {
+        d.add("cluster.recovery.retries",
+              static_cast<double>(sim.retries()),
+              "root attempts relaunched after timeout/reject");
+        d.add("cluster.recovery.timeouts",
+              static_cast<double>(sim.timeouts()),
+              "root attempts that exceeded the client deadline");
+        d.add("cluster.recovery.shed_roots",
+              static_cast<double>(sim.shedRoots()),
+              "roots abandoned after the retry budget ran out");
+        d.add("cluster.recovery.stale_responses",
+              static_cast<double>(sim.staleResponses()),
+              "responses arriving after their attempt timed out");
+    }
+
     for (ServerId s = 0; s < sim.numServers(); ++s) {
         Machine &m = sim.machine(s);
         const std::string base = strprintf("server%u.", s);
@@ -146,6 +165,34 @@ collectStats(ClusterSim &sim)
               "mean non-access link utilization");
         d.add(base + "net.link_util_max", net.maxLinkUtilization(),
               "hottest non-access link utilization");
+
+        // Fault-mode statistics appear only on machines that were
+        // armed for injection (same golden-stability rule as the
+        // cluster.recovery.* block above).
+        if (m.faultsArmed() || m.shedRequests() > 0) {
+            d.add(base + "net.dead_links",
+                  m.faultsArmed()
+                      ? static_cast<double>(
+                            m.faultState()->deadLinks())
+                      : 0.0,
+                  "links down at the end of the run");
+            d.add(base + "net.reroutes",
+                  static_cast<double>(net.reroutes()),
+                  "mid-flight retransmits off dead links");
+            d.add(base + "net.corrupt_retx",
+                  static_cast<double>(net.corruptRetransmits()),
+                  "retransmits after delivery corruption");
+            d.add(base + "net.degraded",
+                  static_cast<double>(net.degradedDeliveries()),
+                  "messages delivered via loss recovery");
+            d.add(base + "net.dropped",
+                  static_cast<double>(net.messagesDropped()),
+                  "droppable messages lost to partitions");
+            d.add(base + "requests.shed_no_path",
+                  static_cast<double>(m.shedRequests()),
+                  "requests bounced at the NIC (no reachable "
+                  "instance)");
+        }
 
         d.add(base + "topnic.ingress_msgs",
               static_cast<double>(m.topNic().ingressMsgs()),

@@ -78,15 +78,23 @@ runValidationSim(const ValidationConfig &cfg)
     };
     Tick busyAtWarmup = 0;
     Tick busyAtStop = 0;
+    ValidationResult r;
     eq.schedule(cfg.warmup, [&]() {
         busyAtWarmup = totalBusy();
+        if (cfg.clearNetStatsAtWarmup)
+            sim.machine(0).network().clearStats();
         sim.setRecording(true);
     });
-    eq.schedule(cfg.warmup + cfg.measure,
-                [&]() { busyAtStop = totalBusy(); });
+    eq.schedule(cfg.warmup + cfg.measure, [&]() {
+        busyAtStop = totalBusy();
+        // Sampled here, not after the drain, so the utilization
+        // window is exactly [warmup, warmup + measure).
+        r.netMeanLinkUtil =
+            sim.machine(0).network().meanLinkUtilization();
+        r.netMaxLinkUtil =
+            sim.machine(0).network().maxLinkUtilization();
+    });
     sim.setRecording(false);
-
-    ValidationResult r;
     r.drained =
         eq.runUntil(cfg.warmup + cfg.measure + cfg.drainLimit);
 

@@ -42,6 +42,12 @@ struct ValidationConfig
     Tick measure = fromSec(2.5);
     Tick drainLimit = fromSec(2.0);
     std::uint64_t seed = 42;
+    /**
+     * Clear the ICN's counters at the warmup boundary so the link
+     * utilizations below cover exactly the measurement window (this
+     * is what exposes stats-window bugs in Network::clearStats()).
+     */
+    bool clearNetStatsAtWarmup = false;
 };
 
 /** What one validation run measured. */
@@ -56,6 +62,11 @@ struct ValidationResult
     std::uint64_t samples = 0;   //!< Recorded completions.
     std::uint64_t rejected = 0;  //!< Must be 0 for a valid run.
     bool drained = false;        //!< Queue empty before drainLimit.
+    /** @name ICN link utilization, sampled at measurement stop.
+     *  Window-accurate only with clearNetStatsAtWarmup. @{ */
+    double netMeanLinkUtil = 0.0;
+    double netMaxLinkUtil = 0.0;
+    /** @} */
 };
 
 /**

@@ -138,13 +138,18 @@ void
 InvariantChecker::onReject(const ServiceRequest &req)
 {
     countEvent();
-    ReqTrack *t = track(req, "reject");
-    if (t == nullptr)
+    auto [it, fresh] = reqs_.try_emplace(req.id());
+    ReqTrack &t = it->second;
+    if (fresh) {
+        // Shed at the NIC before reaching any village queue (no
+        // reachable instance under faults).
+        t.phase = Ph::Rejected;
         return;
-    expect(t->phase == Ph::Queued && t->dequeues == 0,
+    }
+    expect(t.phase == Ph::Queued && t.dequeues == 0,
            "req %u: rejected after it started (phase %u)", req.id(),
-           static_cast<unsigned>(t->phase));
-    t->phase = Ph::Rejected;
+           static_cast<unsigned>(t.phase));
+    t.phase = Ph::Rejected;
 }
 
 void
@@ -174,9 +179,22 @@ void
 InvariantChecker::onNetDeliver()
 {
     ++netDelivered_;
-    expect(netDelivered_ <= netSent_,
-           "network delivered %llu messages but only %llu were sent",
-           static_cast<unsigned long long>(netDelivered_),
+    expect(netDelivered_ + netDropped_ <= netSent_,
+           "network resolved %llu messages but only %llu were sent",
+           static_cast<unsigned long long>(netDelivered_ +
+                                           netDropped_),
+           static_cast<unsigned long long>(netSent_));
+    countEvent();
+}
+
+void
+InvariantChecker::onNetDrop()
+{
+    ++netDropped_;
+    expect(netDelivered_ + netDropped_ <= netSent_,
+           "network resolved %llu messages but only %llu were sent",
+           static_cast<unsigned long long>(netDelivered_ +
+                                           netDropped_),
            static_cast<unsigned long long>(netSent_));
     countEvent();
 }
@@ -216,11 +234,12 @@ InvariantChecker::finalCheck()
            "%zu requests still tracked after drain (first id %u)",
            reqs_.size(),
            reqs_.empty() ? 0u : reqs_.begin()->first);
-    expect(netSent_ == netDelivered_,
+    expect(netSent_ == netDelivered_ + netDropped_,
            "flights outlived their messages: %llu sent vs %llu "
-           "delivered",
+           "delivered + %llu dropped",
            static_cast<unsigned long long>(netSent_),
-           static_cast<unsigned long long>(netDelivered_));
+           static_cast<unsigned long long>(netDelivered_),
+           static_cast<unsigned long long>(netDropped_));
     for (auto &[name, fn] : finalAuditors_)
         fn(*this);
 }

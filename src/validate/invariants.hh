@@ -86,7 +86,8 @@ class InvariantChecker
 
     /** @name Request lifecycle hooks
      *  Legal order: enqueue -> dequeue -> (block -> enqueue)* ->
-     *  complete -> destroy, or enqueue -> reject -> destroy.
+     *  complete -> destroy, or enqueue -> reject -> destroy, or
+     *  reject -> destroy (shed at the NIC before any enqueue).
      *  @{ */
     void onEnqueue(const ServiceRequest &req);
     void onDequeue(const ServiceRequest &req);
@@ -99,6 +100,7 @@ class InvariantChecker
     /** @name Network flight hooks @{ */
     void onNetSend();
     void onNetDeliver();
+    void onNetDrop();
     /** @} */
 
     /** Register a periodic structural audit (runs every N events). */
@@ -165,6 +167,7 @@ class InvariantChecker
     std::uint64_t auditRuns_ = 0;
     std::uint64_t netSent_ = 0;
     std::uint64_t netDelivered_ = 0;
+    std::uint64_t netDropped_ = 0;
     std::unordered_map<RequestId, ReqTrack> reqs_;
     std::vector<std::pair<std::string, AuditFn>> auditors_;
     std::vector<std::pair<std::string, AuditFn>> finalAuditors_;

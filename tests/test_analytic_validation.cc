@@ -224,6 +224,59 @@ TEST(Md1Validation, DeterministicServiceTracksMD1Mean)
     EXPECT_NEAR(r.utilization, rho, 0.05);
 }
 
+// --- ICN link-utilization window (stats-window bugfix) -------------
+
+TEST(NetWindowValidation, ClearedWindowMatchesFullRunRate)
+{
+    // Arrivals are stationary from tick 0, so the utilization rate
+    // over [warmup, warmup+measure) must match the rate over the
+    // whole run. The old clearStats() kept dividing by time since
+    // tick 0, which under-reported the windowed number by
+    // warmup/(warmup+measure) — far outside this tolerance.
+    ValidationConfig cfg;
+    cfg.cores = 4;
+    cfg.serviceMeanUs = kServiceUs;
+    cfg.rps = 0.5 * kMuPerCore * 4;
+    cfg.warmup = fromMs(250.0);
+    cfg.measure = fromMs(250.0);
+
+    ValidationConfig cleared = cfg;
+    cleared.clearNetStatsAtWarmup = true;
+    const ValidationResult full = runValidationSim(cfg);
+    const ValidationResult win = runValidationSim(cleared);
+
+    ASSERT_GT(full.netMaxLinkUtil, 0.0);
+    ASSERT_GT(win.netMaxLinkUtil, 0.0);
+    EXPECT_LT(relErr(win.netMaxLinkUtil, full.netMaxLinkUtil), 0.10);
+    EXPECT_LT(relErr(win.netMeanLinkUtil, full.netMeanLinkUtil),
+              0.10);
+}
+
+TEST(NetWindowValidation, MaxLinkUtilTracksOfferedByteRate)
+{
+    // The busiest fabric link carries every response (2048 B per
+    // completed root), so its windowed utilization must track the
+    // analytic offered byte rate over the link capacity.
+    ValidationConfig cfg;
+    cfg.cores = 4;
+    cfg.serviceMeanUs = kServiceUs;
+    cfg.rps = 0.6 * kMuPerCore * 4;
+    cfg.warmup = fromMs(250.0);
+    cfg.measure = fromMs(500.0);
+    cfg.clearNetStatsAtWarmup = true;
+    const ValidationResult r = runValidationSim(cfg);
+    ASSERT_TRUE(r.drained);
+
+    const MachineParams mp = validationMachineParams(cfg.cores);
+    const double capacityBytesPerSec =
+        mp.linkBytesPerTick * static_cast<double>(tickPerSec);
+    const double expected = cfg.rps * 2048.0 / capacityBytesPerSec;
+    EXPECT_LT(relErr(r.netMaxLinkUtil, expected), 0.15)
+        << "measured=" << r.netMaxLinkUtil
+        << " expected=" << expected;
+    EXPECT_LE(r.netMeanLinkUtil, r.netMaxLinkUtil);
+}
+
 TEST(Md1Validation, WaitBeatsMm1)
 {
     // Sanity on the simulator, not just the formulas: deterministic

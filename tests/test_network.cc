@@ -145,6 +145,56 @@ TEST_F(NetworkFixture, ClearStatsResets)
         EXPECT_EQ(st.messages, 0u);
 }
 
+TEST_F(NetworkFixture, InFlightAcrossClearStatsNotCounted)
+{
+    // A message launched before clearStats() must not count as a
+    // delivery (or a latency sample) in the new window — otherwise
+    // delivered > sent and the warmup trim pollutes measurement.
+    Message m;
+    m.src = 0;
+    m.dst = 31 * 5;
+    m.bytes = 256;
+    net.send(m, []() {});
+    net.clearStats();
+    eq.run();
+    EXPECT_EQ(net.messagesSent(), 0u);
+    EXPECT_EQ(net.messagesDelivered(), 0u);
+    EXPECT_EQ(net.latencyHist().count(), 0u);
+}
+
+TEST_F(NetworkFixture, UtilizationWindowStartsAtClearStats)
+{
+    // Let simulated time pass idle, clear, then send one message:
+    // utilization must divide by the time since the clear, not since
+    // tick 0 (the original bug under-reported post-warmup runs).
+    const Tick idle = 50 * tickPerUs;
+    eq.schedule(idle, []() {});
+    eq.run();
+    net.clearStats();
+    Message m;
+    m.src = 0;
+    m.dst = 31 * 5;
+    m.bytes = 4096;
+    net.send(m, []() {});
+    eq.run();
+
+    Tick max_busy = 0;
+    for (std::size_t i = 0; i < net.linkStates().size(); ++i) {
+        if (!topo.links()[i].access)
+            max_busy = std::max(max_busy,
+                                net.linkStates()[i].busyTime);
+    }
+    ASSERT_GT(max_busy, 0u);
+    ASSERT_GT(eq.now(), idle);
+    const double want = static_cast<double>(max_busy) /
+                        static_cast<double>(eq.now() - idle);
+    EXPECT_DOUBLE_EQ(net.maxLinkUtilization(), want);
+    // The unfixed divisor (since tick 0) would be much smaller.
+    EXPECT_GT(net.maxLinkUtilization(),
+              static_cast<double>(max_busy) /
+                  static_cast<double>(eq.now()) * 1.5);
+}
+
 TEST(NetworkMesh, CornerNicConcentratesTraffic)
 {
     // External traffic through a mesh funnels into node 0's links —
