@@ -38,6 +38,15 @@ obsFromConfig(const Config &cfg)
     obs.traceCapacity = static_cast<std::size_t>(cfg.getInt(
         "trace_capacity",
         static_cast<std::int64_t>(TraceSink::defaultCapacity)));
+    obs.traceFilter = cfg.getString("trace_filter", "");
+    obs.attrib = cfg.getBool("attrib", false);
+    obs.tailProfile = cfg.getString("tail_profile", "");
+    obs.metricsOut = cfg.getString("metrics_out", "");
+    const std::int64_t top_k = cfg.getInt("tail_topk", 32);
+    if (top_k <= 0)
+        fatal("tail_topk must be positive (got %lld)",
+              static_cast<long long>(top_k));
+    obs.tailTopK = static_cast<std::size_t>(top_k);
     return obs;
 }
 
@@ -55,6 +64,13 @@ struct BenchArgs
      *   --stats-json=PATH        machine-readable run artifact
      *   --sample-interval-us=N   sampler period
      *   --trace-capacity=N       TraceSink size in events
+     *   --trace-filter=T[,..]    record only these tracks (village,
+     *                            core, swq, dispatcher, nic, icn,
+     *                            counters, client)
+     *   --attrib=1               per-request latency attribution
+     *   --tail-profile=PATH      tail-profile JSON (implies attrib)
+     *   --metrics-out=PATH       OpenMetrics text artifact
+     *   --tail-topk=N            slow-root captures per endpoint
      */
     ObsConfig obs;
     /**
@@ -110,6 +126,8 @@ obsForPoint(const ObsConfig &obs, std::size_t point,
     ObsConfig o = obs;
     o.traceOut = pointPath(obs.traceOut, point, npoints);
     o.statsJson = pointPath(obs.statsJson, point, npoints);
+    o.tailProfile = pointPath(obs.tailProfile, point, npoints);
+    o.metricsOut = pointPath(obs.metricsOut, point, npoints);
     return o;
 }
 

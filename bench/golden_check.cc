@@ -28,6 +28,7 @@
 #include "driver/qos.hh"
 #include "fault/fault_plan.hh"
 #include "obs/json.hh"
+#include "workload/synthetic.hh"
 
 using namespace umany;
 using namespace umany::bench;
@@ -158,6 +159,52 @@ figResilienceSmall()
     return out;
 }
 
+/**
+ * Attribution at small scale: the fan-out tree with and without an
+ * injected bottleneck, attribution on. Pins the whole pipeline end
+ * to end — ledger charges, critical-path extraction, and the tail
+ * profiler's component ranking — since any change in a charge site
+ * shifts the ranked ticks.
+ */
+std::string
+figTailAttribSmall()
+{
+    std::string out = "# fig_tail_attrib-small: fan-out bottleneck "
+                      "attribution (uManycore, 1 server, 4K RPS)\n";
+    const std::vector<std::pair<std::string, FanoutParams>> cases =
+        [] {
+            FanoutParams base;
+            FanoutParams slowed;
+            slowed.slowLeaf = 2;
+            slowed.slowFactor = 8.0;
+            return std::vector<std::pair<std::string, FanoutParams>>{
+                {"baseline", base}, {"slow-leaf", slowed}};
+        }();
+    for (const auto &[label, p] : cases) {
+        const ServiceCatalog catalog = buildSyntheticFanout(p);
+        ExperimentConfig cfg =
+            smallConfig(uManycoreParams(), 4000.0, 1);
+        cfg.obs.attrib = true;
+        AttribResult a;
+        const RunMetrics m = runExperiment(catalog, cfg, nullptr, &a);
+        out += "== " + label + " ==\n";
+        out += metricsJson(m);
+        out += "\n";
+        out += strprintf("roots %llu mismatches %llu\n",
+                         static_cast<unsigned long long>(a.roots),
+                         static_cast<unsigned long long>(
+                             a.ledgerMismatches));
+        for (const auto &[comp, ticks] : a.profiler.rankedTail()) {
+            if (ticks == 0)
+                continue;
+            out += strprintf(
+                "tail %s %llu\n", attribCompName(comp),
+                static_cast<unsigned long long>(ticks));
+        }
+    }
+    return out;
+}
+
 struct GoldenCase
 {
     const char *name;
@@ -169,6 +216,7 @@ const GoldenCase kCases[] = {
     {"fig14-small", fig14Small},
     {"fig18-small", fig18Small},
     {"fig_resilience-small", figResilienceSmall},
+    {"fig_tail_attrib-small", figTailAttribSmall},
 };
 
 std::string

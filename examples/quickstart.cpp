@@ -65,6 +65,12 @@ main(int argc, char **argv)
     exp.obs.traceCapacity = static_cast<std::size_t>(cfg.getInt(
         "trace_capacity",
         static_cast<std::int64_t>(TraceSink::defaultCapacity)));
+    exp.obs.traceFilter = cfg.getString("trace_filter", "");
+    exp.obs.attrib = cfg.getBool("attrib", false);
+    exp.obs.tailProfile = cfg.getString("tail_profile", "");
+    exp.obs.metricsOut = cfg.getString("metrics_out", "");
+    exp.obs.tailTopK = static_cast<std::size_t>(
+        cfg.getInt("tail_topk", 32));
 
     const ServiceCatalog catalog =
         cfg.getString("app", "social") == "media"
@@ -75,7 +81,11 @@ main(int argc, char **argv)
                 exp.machine.name.c_str(), exp.cluster.numServers,
                 rps);
     StatsDump dump;
-    const RunMetrics m = runExperiment(catalog, exp, &dump);
+    AttribResult attrib;
+    const bool wantAttrib =
+        exp.obs.attrib || !exp.obs.tailProfile.empty();
+    const RunMetrics m = runExperiment(
+        catalog, exp, &dump, wantAttrib ? &attrib : nullptr);
 
     Table t({"endpoint", "avg (ms)", "p50 (ms)", "p99 (ms)",
              "samples"});
@@ -111,5 +121,19 @@ main(int argc, char **argv)
     if (!exp.obs.statsJson.empty())
         std::printf("run artifact written to %s\n",
                     exp.obs.statsJson.c_str());
+    if (wantAttrib) {
+        std::printf("\n%s",
+                    attrib.profiler
+                        .reportText([&catalog](ServiceId s) {
+                            return catalog.at(s).name;
+                        })
+                        .c_str());
+        if (!exp.obs.tailProfile.empty())
+            std::printf("tail profile written to %s\n",
+                        exp.obs.tailProfile.c_str());
+    }
+    if (!exp.obs.metricsOut.empty())
+        std::printf("OpenMetrics dump written to %s\n",
+                    exp.obs.metricsOut.c_str());
     return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/attrib.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
 #include "validate/invariants.hh"
@@ -177,6 +178,7 @@ ClusterSim::makeRequest(ServiceId service, ServiceRequest *parent)
     req->parent = parent;
     req->createdAt = eq_.now();
     ServiceRequest *raw = req.get();
+    UMANY_ATTRIB(AttribRegistry::active()->onCreate(*raw, eq_.now()));
     requests_.emplace(id, std::move(req));
     return raw;
 }
@@ -196,8 +198,12 @@ ClusterSim::destroy(ServiceRequest *req)
         const double total = queued + blocked + running;
         if (total > 0.0)
             reqUtil_.add(running / total);
+        // Same population as the Summaries above, so the ledger
+        // aggregates are 1:1 comparable against §3.3.
+        UMANY_ATTRIB(AttribRegistry::active()->accumulate(*req));
     }
     UMANY_INVARIANT(InvariantChecker::active()->onDestroy(*req));
+    UMANY_ATTRIB(AttribRegistry::active()->onDestroy(*req, eq_.now()));
     requests_.erase(req->id());
 }
 
@@ -361,6 +367,11 @@ ClusterSim::recoveredRootComplete(ServiceRequest *req)
             const Tick threshold = qosThreshold_[ep];
             if (threshold != 0 && latency > threshold)
                 ++qosViolations_;
+            UMANY_ATTRIB({
+                AttribRegistry *ar = AttribRegistry::active();
+                ar->noteRetryWait(*req, t.firstSubmit);
+                ar->markRootObserved(*req, latency);
+            });
         }
     }
     tasks_.erase(task_id);
@@ -386,6 +397,8 @@ ClusterSim::handleRootComplete(ServerId, ServiceRequest *req)
             const Tick threshold = qosThreshold_[req->rootEndpoint];
             if (threshold != 0 && latency > threshold)
                 ++qosViolations_;
+            UMANY_ATTRIB(AttribRegistry::active()->markRootObserved(
+                *req, latency));
         }
     }
     destroy(req);

@@ -7,6 +7,7 @@
 #include "noc/fat_tree.hh"
 #include "noc/leaf_spine.hh"
 #include "noc/mesh.hh"
+#include "obs/attrib.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
 #include "validate/invariants.hh"
@@ -319,6 +320,10 @@ Machine::externalArrival(ServiceRequest *req)
         fatal("machine '%s' hosts no instance of service %u",
               p_.name.c_str(), req->service());
 
+    // Wire/egress time getting here plus top-NIC ingress is all
+    // dispatch-path work.
+    UMANY_ATTRIB(AttribRegistry::active()->charge(
+        *req, AttribComp::NicDispatch, curTick()));
     const Tick t = topNic_->ingress(curTick(), req->reqBytes);
 
     const EndpointId ext = topo_->externalEndpoint();
@@ -333,6 +338,8 @@ Machine::externalArrival(ServiceRequest *req)
         v = serviceMap_.pick(req->service());
     }
     eventq().schedule(t, [this, req, v, ext]() {
+        UMANY_ATTRIB(AttribRegistry::active()->charge(
+            *req, AttribComp::NicDispatch, curTick()));
         sendIcn(ext, villageEndpoint(v), req->reqBytes,
                 MsgClass::Request,
                 [this, req, v]() { villageIngress(req, v); });
@@ -373,16 +380,23 @@ Machine::shedRequest(ServiceRequest *req, Tick ready_at)
     // The error response bounces straight from the NIC — the request
     // never crossed the ICN, so the response does not either.
     req->respBytes = 128;
+    UMANY_ATTRIB(AttribRegistry::active()->notePlacement(*req));
     if (req->parent == nullptr) {
         const Tick t = ready_at + topNic_->extLatency();
+        UMANY_ATTRIB(AttribRegistry::active()->charge(
+            *req, AttribComp::NicDispatch, t));
         eventq().schedule(t,
                           [this, req]() { onRootComplete(req); });
     } else if (req->parent->server == self_) {
         ServiceRequest *parent = req->parent;
+        UMANY_ATTRIB(AttribRegistry::active()->charge(
+            *req, AttribComp::NicDispatch, ready_at));
         eventq().schedule(ready_at, [this, parent, req]() {
             deliverChildResponse(parent, req);
         });
     } else {
+        UMANY_ATTRIB(AttribRegistry::active()->charge(
+            *req, AttribComp::NicDispatch, ready_at));
         eventq().schedule(ready_at, [this, req]() {
             onRemoteChildFinished(req);
         });
@@ -396,6 +410,11 @@ Machine::villageIngress(ServiceRequest *req, VillageId v)
     vil.nic->countRx();
     req->village = v;
     req->server = self_;
+    UMANY_ATTRIB({
+        AttribRegistry *ar = AttribRegistry::active();
+        ar->chargeIcn(*req, net_->lastDelivery(), curTick());
+        ar->notePlacement(*req);
+    });
     req->pendingOverhead += vil.nic->rxCoreCycles();
     if (req->seq == 0)
         req->seq = nextSeq_++;
@@ -410,6 +429,9 @@ Machine::villageIngress(ServiceRequest *req, VillageId v)
 void
 Machine::enqueueFresh(ServiceRequest *req)
 {
+    // Village NIC rx + (software) dispatcher routing since ingress.
+    UMANY_ATTRIB(AttribRegistry::active()->charge(
+        *req, AttribComp::NicDispatch, curTick()));
     UMANY_TRACE(traceReqTransition(curTick(), *req,
                                    ReqState::Queued));
     req->state = ReqState::Queued;
@@ -440,6 +462,9 @@ Machine::enqueueFresh(ServiceRequest *req)
 void
 Machine::reEnqueue(ServiceRequest *req)
 {
+    // Dispatcher unblock op (software CS) between Ready and requeue.
+    UMANY_ATTRIB(AttribRegistry::active()->charge(
+        *req, AttribComp::CtxSwitch, curTick()));
     UMANY_TRACE(traceReqTransition(curTick(), *req,
                                    ReqState::Ready));
     req->state = ReqState::Ready;
@@ -498,6 +523,10 @@ Machine::startRun(CoreId core, ServiceRequest *req, Tick ready_at)
 {
     cores_[core].beginWork(req, curTick());
     req->queuedTime += curTick() - req->enqueuedAt;
+    // The ledger's RQ-wait window is exactly the queuedTime interval;
+    // dequeue/restore cost below is context-switch work.
+    UMANY_ATTRIB(AttribRegistry::active()->charge(
+        *req, AttribComp::RqWait, curTick()));
     UMANY_TRACE(traceReqTransition(curTick(), *req,
                                    ReqState::Running));
     req->state = ReqState::Running;
@@ -514,11 +543,15 @@ Machine::startRun(CoreId core, ServiceRequest *req, Tick ready_at)
             curTick(), self_, traceCoreTrack(core), "cs.restore",
             req->id()));
     }
+    UMANY_ATTRIB(AttribRegistry::active()->charge(
+        *req, AttribComp::CtxSwitch, t));
     // Deferred software overhead (RPC rx processing, unblocks).
     if (req->pendingOverhead > 0) {
         t += cyc(static_cast<double>(req->pendingOverhead));
         req->pendingOverhead = 0;
     }
+    UMANY_ATTRIB(AttribRegistry::active()->charge(
+        *req, AttribComp::NicDispatch, t));
 
 
     // Migration warm-up: resuming on a different core outside the
@@ -550,13 +583,27 @@ Machine::startRun(CoreId core, ServiceRequest *req, Tick ready_at)
 void
 Machine::runSegment(CoreId core, ServiceRequest *req)
 {
+    // Migration warm-up arrivals reach here over the ICN; charge the
+    // transfer before the segment starts. (Direct schedules arrive
+    // with a zero-length window and charge nothing.)
+    UMANY_ATTRIB(AttribRegistry::active()->chargeIcn(
+        *req, net_->lastDelivery(), curTick()));
     double work = static_cast<double>(
         req->behavior().segments[req->segIndex]);
     work *= p_.perfFactor * villagePerfFactor(req->village);
+    const Tick base = static_cast<Tick>(work);
     if (coherence_.scope() == CoherenceScope::Global)
         work *= 1.0 + p_.dirStallFactor;
     const Tick dur = static_cast<Tick>(work);
     req->runningTime += dur;
+    // Split the window into reference execution and the directory
+    // stall inflation on top of it.
+    UMANY_ATTRIB({
+        AttribRegistry *ar = AttribRegistry::active();
+        ar->charge(*req, AttribComp::ServiceExec, curTick() + base);
+        ar->charge(*req, AttribComp::CoherenceStall,
+                   curTick() + dur);
+    });
     // The on-core execution window, on the core's own track.
     UMANY_TRACE({
         TraceSink *s = TraceSink::active();
@@ -613,6 +660,8 @@ Machine::segmentDone(CoreId core, ServiceRequest *req)
         Tick t = curTick() + villages_[v].nic->txCoreTime();
         if (p_.sched == MachineParams::Sched::HwRq)
             t += cyc(static_cast<double>(p_.rq.completeCycles));
+        UMANY_ATTRIB(AttribRegistry::active()->charge(
+            *req, AttribComp::NicDispatch, t));
         eventq().schedule(t, [this, core, req, v]() {
             finishRequest(req, v);
             releaseCore(core);
@@ -636,15 +685,22 @@ Machine::segmentDone(CoreId core, ServiceRequest *req)
     req->contextSwitches += 1;
     cores_[core].countSwitch();
 
+    UMANY_ATTRIB(AttribRegistry::active()->charge(
+        *req, AttribComp::CtxSwitch,
+        curTick() + p_.cs.saveTime(p_.core.ghz)));
     Tick t = curTick() + p_.cs.saveTime(p_.core.ghz) +
              villages_[v].nic->txCoreTime() *
                  static_cast<Tick>(group.size());
+    UMANY_ATTRIB(AttribRegistry::active()->charge(
+        *req, AttribComp::NicDispatch, t));
     // Software context switching routes through the centralized
     // scheduler core (§4.4); the worker waits for its ack, so the
     // dispatcher saturates under frequent blocking.
     if (p_.cs.scheme != CsScheme::HardwareRq) {
         t = dispatcher_->process(
             t, p_.dispatcher.opCycles + p_.cs.saveCycles);
+        UMANY_ATTRIB(AttribRegistry::active()->charge(
+            *req, AttribComp::CtxSwitch, t));
     }
     eventq().schedule(t, [this, core, req, v]() {
         issueCallGroup(req, v);
@@ -700,6 +756,10 @@ Machine::finishRequest(ServiceRequest *req, VillageId v)
         if (promoted != nullptr) {
             promoted->enqueuedAt = curTick();
             promoted->state = ReqState::Queued;
+            // Time spent parked in the NIC buffer is dispatch-path
+            // backpressure, not RQ wait: the RQ clock starts now.
+            UMANY_ATTRIB(AttribRegistry::active()->charge(
+                *promoted, AttribComp::NicDispatch, curTick()));
             tryWakeVillage(v);
         }
     }
@@ -708,9 +768,13 @@ Machine::finishRequest(ServiceRequest *req, VillageId v)
         // Root: response to the external client.
         sendIcn(villageEndpoint(v), topo_->externalEndpoint(),
                 req->respBytes, MsgClass::Response, [this, req]() {
+                    UMANY_ATTRIB(AttribRegistry::active()->chargeIcn(
+                        *req, net_->lastDelivery(), curTick()));
                     Tick t =
                         topNic_->egress(curTick(), req->respBytes);
                     t += rnic_->sendPenalty() + topNic_->extLatency();
+                    UMANY_ATTRIB(AttribRegistry::active()->charge(
+                        *req, AttribComp::NicDispatch, t));
                     eventq().schedule(t, [this, req]() {
                         onRootComplete(req);
                     });
@@ -727,9 +791,13 @@ Machine::finishRequest(ServiceRequest *req, VillageId v)
         // Remote parent: response leaves the package.
         sendIcn(villageEndpoint(v), topo_->externalEndpoint(),
                 req->respBytes, MsgClass::Response, [this, req]() {
+                    UMANY_ATTRIB(AttribRegistry::active()->chargeIcn(
+                        *req, net_->lastDelivery(), curTick()));
                     Tick t =
                         topNic_->egress(curTick(), req->respBytes);
                     t += rnic_->sendPenalty();
+                    UMANY_ATTRIB(AttribRegistry::active()->charge(
+                        *req, AttribComp::NicDispatch, t));
                     eventq().schedule(t, [this, req]() {
                         onRemoteChildFinished(req);
                     });
@@ -741,6 +809,11 @@ void
 Machine::deliverChildResponse(ServiceRequest *parent,
                               ServiceRequest *child)
 {
+    // Close the child's ledger at response delivery: the transfer
+    // back over the ICN is its final charge. (For shed children the
+    // window is empty and this is a no-op.)
+    UMANY_ATTRIB(AttribRegistry::active()->chargeIcn(
+        *child, net_->lastDelivery(), curTick()));
     Village &vil = villages_[parent->village];
     vil.nic->countRx();
     parent->pendingOverhead += vil.nic->rxCoreCycles();
@@ -794,8 +867,12 @@ Machine::outboundRequest(ServiceRequest *req, VillageId from,
     sendIcn(villageEndpoint(from), topo_->externalEndpoint(),
             req->reqBytes, MsgClass::Request,
             [this, req, on_exit = std::move(on_exit)]() {
+                UMANY_ATTRIB(AttribRegistry::active()->chargeIcn(
+                    *req, net_->lastDelivery(), curTick()));
                 Tick t = topNic_->egress(curTick(), req->reqBytes);
                 t += rnic_->sendPenalty();
+                UMANY_ATTRIB(AttribRegistry::active()->charge(
+                    *req, AttribComp::NicDispatch, t));
                 eventq().schedule(t, on_exit);
             });
 }
@@ -804,6 +881,10 @@ void
 Machine::responseProcessed(ServiceRequest *parent)
 {
     parent->blockedTime += curTick() - parent->enqueuedAt;
+    // Exactly the blockedTime interval: the call group was issued at
+    // enqueuedAt, which is also where the ledger checkpoint stopped.
+    UMANY_ATTRIB(AttribRegistry::active()->charge(
+        *parent, AttribComp::BlockedOnChild, curTick()));
     // Unblocking under software context switching is another
     // serialized dispatcher operation (restore-side bookkeeping).
     if (p_.cs.scheme != CsScheme::HardwareRq) {
@@ -833,9 +914,13 @@ Machine::rejectRequest(ServiceRequest *req)
     if (req->parent == nullptr) {
         sendIcn(villageEndpoint(v), topo_->externalEndpoint(), 128,
                 MsgClass::Response, [this, req]() {
+                    UMANY_ATTRIB(AttribRegistry::active()->chargeIcn(
+                        *req, net_->lastDelivery(), curTick()));
                     const Tick t =
                         topNic_->egress(curTick(), 128) +
                         topNic_->extLatency();
+                    UMANY_ATTRIB(AttribRegistry::active()->charge(
+                        *req, AttribComp::NicDispatch, t));
                     eventq().schedule(t, [this, req]() {
                         onRootComplete(req);
                     });
@@ -849,7 +934,11 @@ Machine::rejectRequest(ServiceRequest *req)
     } else {
         sendIcn(villageEndpoint(v), topo_->externalEndpoint(), 128,
                 MsgClass::Response, [this, req]() {
+                    UMANY_ATTRIB(AttribRegistry::active()->chargeIcn(
+                        *req, net_->lastDelivery(), curTick()));
                     const Tick t = topNic_->egress(curTick(), 128);
+                    UMANY_ATTRIB(AttribRegistry::active()->charge(
+                        *req, AttribComp::NicDispatch, t));
                     eventq().schedule(t, [this, req]() {
                         onRemoteChildFinished(req);
                     });

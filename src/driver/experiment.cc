@@ -4,18 +4,41 @@
 
 #include "driver/report.hh"
 #include "fault/injector.hh"
+#include "obs/attrib.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/json.hh"
 #include "obs/sampler.hh"
 #include "sim/logging.hh"
+#include "stats/metrics_registry.hh"
 #include "validate/invariants.hh"
 
 namespace umany
 {
 
+namespace
+{
+
+/** Map a service id to its catalog name (ids past the catalog keep
+ *  the numeric fallback the profiler would use anyway). */
+ServiceNamer
+catalogNamer(const ServiceCatalog &catalog)
+{
+    return [&catalog](ServiceId s) -> std::string {
+        if (s == invalidId ||
+            static_cast<std::size_t>(s) >= catalog.size()) {
+            return strprintf("service%u",
+                             static_cast<unsigned>(s));
+        }
+        return catalog.at(s).name;
+    };
+}
+
+} // namespace
+
 RunMetrics
 runExperiment(const ServiceCatalog &catalog,
-              const ExperimentConfig &cfg, StatsDump *stats_out)
+              const ExperimentConfig &cfg, StatsDump *stats_out,
+              AttribResult *attrib_out)
 {
     // Tracing is scoped to the run: install a sink before the
     // cluster is built so every lifecycle event lands in it, and
@@ -25,7 +48,21 @@ runExperiment(const ServiceCatalog &catalog,
     const bool tracing = !cfg.obs.traceOut.empty();
     if (tracing) {
         sink = std::make_unique<TraceSink>(cfg.obs.traceCapacity);
+        sink->setFilter(parseTraceFilter(cfg.obs.traceFilter));
         scope = std::make_unique<ScopedTrace>(*sink);
+    }
+
+    // Attribution mirrors the tracing pattern: a thread-local
+    // registry installed for the run's scope, free when absent.
+    std::unique_ptr<AttribRegistry> attrib;
+    std::unique_ptr<ScopedAttrib> attribScope;
+    const bool attributing =
+        cfg.obs.attrib || !cfg.obs.tailProfile.empty() ||
+        attrib_out != nullptr;
+    if (attributing) {
+        attrib = std::make_unique<AttribRegistry>();
+        attrib->setTopK(cfg.obs.tailTopK);
+        attribScope = std::make_unique<ScopedAttrib>(attrib.get());
     }
 
 #if UMANY_INVARIANTS_ENABLED
@@ -91,13 +128,81 @@ runExperiment(const ServiceCatalog &catalog,
         writeChromeTrace(*sink, cfg.obs.traceOut);
 
     StatsDump stats;
-    if (stats_out != nullptr || !cfg.obs.statsJson.empty())
+    if (stats_out != nullptr || !cfg.obs.statsJson.empty() ||
+        !cfg.obs.metricsOut.empty()) {
         stats = collectStats(sim);
+    }
     if (stats_out != nullptr)
         *stats_out = stats;
 
     const RunMetrics metrics =
         collectMetrics(sim, catalog, cfg.measure, cfg.rpsPerServer);
+
+    if (attributing) {
+        const ServiceNamer namer = catalogNamer(catalog);
+        if (!cfg.obs.tailProfile.empty()) {
+            writeTextFile(cfg.obs.tailProfile,
+                          attrib->profiler().toJson(namer));
+        }
+        if (attrib_out != nullptr) {
+            attrib_out->enabled = true;
+            attrib_out->requests = attrib->accumulated();
+            attrib_out->roots = attrib->rootsObserved();
+            attrib_out->ledgerMismatches =
+                attrib->ledgerMismatches();
+            for (std::size_t c = 0; c < kNumAttribComps; ++c) {
+                const Histogram &h = attrib->componentTicks(
+                    static_cast<AttribComp>(c));
+                attrib_out->perRequestMeanUs[c] =
+                    h.count() > 0 ? h.mean() / tickPerUs : 0.0;
+            }
+            attrib_out->analyticQueuedUs =
+                sim.queuedTimeUs().mean();
+            attrib_out->analyticBlockedUs =
+                sim.blockedTimeUs().mean();
+            attrib_out->analyticRunningUs =
+                sim.runningTimeUs().mean();
+            attrib_out->profiler = attrib->profiler();
+        }
+    }
+
+    if (!cfg.obs.metricsOut.empty()) {
+        // OpenMetrics artifact: the full stats dump as gauges, the
+        // per-endpoint latency distributions as summaries, and (when
+        // attribution is on) the per-component ledger summaries.
+        MetricsRegistry reg;
+        for (const StatEntry &e : stats.entries())
+            reg.gauge(e.name, e.desc, e.value);
+        for (const ServiceId ep : catalog.endpoints()) {
+            reg.summary("endpoint_latency_us",
+                        "End-to-end root latency by endpoint",
+                        sim.endpointLatency(ep), 1.0 / tickPerUs,
+                        {{"endpoint", catalog.at(ep).name}});
+        }
+        if (attributing) {
+            for (std::size_t c = 0; c < kNumAttribComps; ++c) {
+                const AttribComp comp =
+                    static_cast<AttribComp>(c);
+                reg.summary(
+                    "attrib_component_us",
+                    "Per-request latency ledger charge by "
+                    "component",
+                    attrib->componentTicks(comp), 1.0 / tickPerUs,
+                    {{"component", attribCompName(comp)}});
+            }
+            reg.counter("attrib_roots",
+                        "Completed roots ingested by the tail "
+                        "profiler",
+                        static_cast<double>(
+                            attrib->rootsObserved()));
+            reg.counter("attrib_ledger_mismatches",
+                        "Roots whose ledger missed the observed "
+                        "latency by more than one tick",
+                        static_cast<double>(
+                            attrib->ledgerMismatches()));
+        }
+        writeTextFile(cfg.obs.metricsOut, reg.openMetricsText());
+    }
 
     if (!cfg.obs.statsJson.empty()) {
         // One self-contained artifact per run: metrics + stats (+

@@ -14,6 +14,7 @@
 #include "arch/cluster_sim.hh"
 #include "driver/metrics.hh"
 #include "fault/fault_plan.hh"
+#include "obs/tail_profiler.hh"
 #include "obs/trace.hh"
 #include "stats/stats_dump.hh"
 #include "workload/loadgen.hh"
@@ -36,6 +37,39 @@ struct ObsConfig
     Tick sampleInterval = 0;
     /** TraceSink capacity in events. */
     std::size_t traceCapacity = TraceSink::defaultCapacity;
+    /**
+     * Comma-separated track selection for tracing ("" records all
+     * tracks): any of village, core, swq, dispatcher, nic, icn/net,
+     * counters, client.
+     */
+    std::string traceFilter;
+    /** Enable the latency-attribution ledger + tail profiler. */
+    bool attrib = false;
+    /** Tail-profile JSON artifact path (implies attrib). */
+    std::string tailProfile;
+    /** OpenMetrics text artifact path ("" disables). */
+    std::string metricsOut;
+    /** Slowest-root captures retained per endpoint. */
+    std::size_t tailTopK = 32;
+};
+
+/** Attribution results of one run (filled when enabled). */
+struct AttribResult
+{
+    bool enabled = false;
+    /** Finished service requests folded into the aggregates. */
+    std::uint64_t requests = 0;
+    /** Completed roots ingested by the tail profiler. */
+    std::uint64_t roots = 0;
+    /** Roots whose ledger missed the observed latency by > 1 tick. */
+    std::uint64_t ledgerMismatches = 0;
+    /** Mean per-request ledger charge, by component (us). */
+    std::array<double, kNumAttribComps> perRequestMeanUs{};
+    /** §3.3 analytic means over the same request population (us). */
+    double analyticQueuedUs = 0.0;
+    double analyticBlockedUs = 0.0;
+    double analyticRunningUs = 0.0;
+    TailProfiler profiler;
 };
 
 /** One experiment's configuration. */
@@ -63,10 +97,14 @@ struct ExperimentConfig
  * Run one experiment to completion and collect metrics.
  * @param stats_out When non-null, also filled with the full
  *        gem5-style statistics dump of the finished simulation.
+ * @param attrib_out When non-null and attribution is on (via
+ *        cfg.obs.attrib or a tail-profile path), filled with the
+ *        run's latency-attribution aggregates and tail profiler.
  */
 RunMetrics runExperiment(const ServiceCatalog &catalog,
                          const ExperimentConfig &cfg,
-                         StatsDump *stats_out = nullptr);
+                         StatsDump *stats_out = nullptr,
+                         AttribResult *attrib_out = nullptr);
 
 /**
  * Contention-free per-endpoint average execution time: a low-load

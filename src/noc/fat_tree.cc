@@ -46,8 +46,10 @@ FatTree::FatTree(const FatTreeParams &p) : p_(p)
             const std::uint32_t parent = parent_start + i / 2;
             up_[node] = addLink(node, parent, p_.hopLatency, bw,
                                 strprintf("ft.up.%u->%u", node, parent));
+            links_[up_[node]].level = lvl == 0 ? 1 : 2;
             down_[node] = addLink(parent, node, p_.hopLatency, bw,
                                   strprintf("ft.dn.%u->%u", parent, node));
+            links_[down_[node]].level = lvl == 0 ? 1 : 2;
         }
         start = parent_start;
         count >>= 1;

@@ -42,10 +42,12 @@ LeafSpine::LeafSpine(const LeafSpineParams &p) : p_(p)
                 leafNode(leaf), spineNode(spine), p_.hopLatency,
                 p_.bytesPerTick,
                 strprintf("ls.l%u->s%u", leaf, spine));
+            links_[leafToSpine_[idx]].level = 1;
             spineToLeaf_[idx] = addLink(
                 spineNode(spine), leafNode(leaf), p_.hopLatency,
                 p_.bytesPerTick,
                 strprintf("ls.s%u->l%u", spine, leaf));
+            links_[spineToLeaf_[idx]].level = 1;
         }
     }
 
@@ -61,10 +63,12 @@ LeafSpine::LeafSpine(const LeafSpineParams &p) : p_(p)
                 spineNode(spine), l3Node(k), p_.hopLatency,
                 p_.bytesPerTick,
                 strprintf("ls.s%u->t%u", spine, k));
+            links_[spineToL3_[idx]].level = 2;
             l3ToSpine_[idx] = addLink(
                 l3Node(k), spineNode(spine), p_.hopLatency,
                 p_.bytesPerTick,
                 strprintf("ls.t%u->s%u", k, spine));
+            links_[l3ToSpine_[idx]].level = 2;
         }
     }
 

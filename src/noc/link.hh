@@ -33,6 +33,9 @@ struct LinkSpec
     bool access = false;       //!< Endpoint attach link (not an
                                //!< NH-to-NH hop; excluded from hop
                                //!< counts to match the paper).
+    std::uint8_t level = 0;    //!< Topology layer for attribution:
+                               //!< 0 access/NIC attach, 1 first
+                               //!< switch tier, 2 spine/core tier.
     std::string label;         //!< For debug/stats output.
 
     /** Time the wire is occupied serializing @p bytes. */

@@ -17,6 +17,7 @@ Mesh2D::Mesh2D(const MeshParams &p) : p_(p)
         linkAt_[from * 4 + d] = addLink(
             from, to, p_.hopLatency, p_.bytesPerTick,
             strprintf("mesh.%u->%u", from, to));
+        links_[linkAt_[from * 4 + d]].level = 1;
     };
 
     for (std::uint32_t y = 0; y < p_.height; ++y) {

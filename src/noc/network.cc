@@ -122,6 +122,10 @@ Network::hop(std::shared_ptr<Flight> flight)
     const bool last_hop = flight->hop + 1 == flight->path.size();
     const Tick arrival = depart + spec.latency + (last_hop ? ser : 0);
     flight->hop += 1;
+    UMANY_ATTRIB(
+        flight->levelTicks[std::min<std::size_t>(
+            spec.level, kIcnLevels - 1)] +=
+        spec.latency + (last_hop ? ser : 0));
 
     // Shared (not released raw): std::function requires a copyable
     // capture, and shared ownership means flights pending in a
@@ -194,6 +198,11 @@ Network::finishDelivery(const Flight &flight)
         latency_.add(curTick() - flight.start);
         queueDelay_.add(flight.queued);
     }
+    UMANY_ATTRIB({
+        lastDelivery_.queued = flight.queued;
+        lastDelivery_.level = flight.levelTicks;
+        lastDelivery_.valid = true;
+    });
     traceDelivery(flight);
     flight.deliver();
 }

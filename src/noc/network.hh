@@ -14,6 +14,7 @@
 
 #include "noc/message.hh"
 #include "noc/topology.hh"
+#include "obs/attrib.hh"
 #include "sim/rng.hh"
 #include "sim/sim_object.hh"
 #include "stats/histogram.hh"
@@ -114,6 +115,17 @@ class Network : public SimObject
     /** @} */
 
     /**
+     * Time decomposition of the delivery whose callback is currently
+     * running. Filled (and meaningful) only while attribution is
+     * active; deliver callbacks read it synchronously to charge the
+     * ICN components of the arriving request's ledger.
+     */
+    const IcnDeliveryDetail &lastDelivery() const
+    {
+        return lastDelivery_;
+    }
+
+    /**
      * Clear statistics and start a new stats window at the current
      * tick. Messages in flight across the clear complete but are not
      * counted or recorded in the new window (their send was counted
@@ -156,8 +168,12 @@ class Network : public SimObject
         Tick queued = 0;
         std::uint64_t epoch = 0;   //!< Stats window it was sent in.
         std::uint32_t retx = 0;    //!< Retransmissions so far.
+        /** Per-level hop time, filled only while attribution runs. */
+        std::array<Tick, kIcnLevels> levelTicks{};
         DeliverFn deliver;
     };
+
+    IcnDeliveryDetail lastDelivery_;
 
     void hop(std::shared_ptr<Flight> flight);
     void retransmit(std::shared_ptr<Flight> flight);

@@ -51,6 +51,8 @@ phaseCode(TracePhase p)
       case TracePhase::DurEnd: return "E";
       case TracePhase::Instant: return "i";
       case TracePhase::Counter: return "C";
+      case TracePhase::FlowStart: return "s";
+      case TracePhase::FlowEnd: return "f";
     }
     return "i";
 }
@@ -108,6 +110,17 @@ chromeTraceJson(const TraceSink &sink)
                 w.key("args").beginObject();
                 w.key("req").value(e.id);
                 w.endObject();
+            }
+            break;
+          case TracePhase::FlowStart:
+          case TracePhase::FlowEnd:
+            w.key("cat").value("rpc");
+            w.key("id").value(strprintf(
+                "0x%llx", static_cast<unsigned long long>(e.id)));
+            if (e.phase == TracePhase::FlowEnd) {
+                // Bind to the enclosing slice so the arrow lands on
+                // the child's first span, not a zero-width point.
+                w.key("bp").value("e");
             }
             break;
         }

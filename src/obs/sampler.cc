@@ -21,7 +21,19 @@ void
 Sampler::start(Tick until)
 {
     until_ = until;
-    eq_.schedule(eq_.now() + interval_, [this]() { tick(); });
+    scheduleNext();
+}
+
+void
+Sampler::scheduleNext()
+{
+    // The last interval is clamped so the final sample lands exactly
+    // at the stop tick; once there, nothing further is scheduled.
+    const Tick now = eq_.now();
+    if (now >= until_)
+        return;
+    eq_.schedule(std::min(now + interval_, until_),
+                 [this]() { tick(); });
 }
 
 void
@@ -55,9 +67,7 @@ Sampler::tick()
         s.ts, 0, "in_flight",
         static_cast<double>(s.inFlight)));
     samples_.push_back(std::move(s));
-
-    if (eq_.now() + interval_ <= until_)
-        eq_.schedule(eq_.now() + interval_, [this]() { tick(); });
+    scheduleNext();
 }
 
 std::string

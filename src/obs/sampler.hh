@@ -50,10 +50,13 @@ class Sampler
     Sampler(EventQueue &eq, ClusterSim &sim, Tick interval);
 
     /**
-     * Start sampling: one sample every interval until @p until.
-     * Bounding the schedule keeps the event queue drainable once the
-     * load stops (an unbounded self-rescheduling sampler would make
-     * every run hit the drain limit).
+     * Start sampling: one sample every interval until @p until, with
+     * one final sample exactly AT @p until even when the window is
+     * not a multiple of the interval — the series always covers the
+     * full measurement window. Bounding the schedule keeps the event
+     * queue drainable once the load stops (an unbounded
+     * self-rescheduling sampler would make every run hit the drain
+     * limit).
      */
     void start(Tick until);
 
@@ -71,6 +74,7 @@ class Sampler
     std::vector<Sample> samples_;
 
     void tick();
+    void scheduleNext();
 };
 
 } // namespace umany

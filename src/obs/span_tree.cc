@@ -1,0 +1,107 @@
+#include "obs/span_tree.hh"
+
+#include <algorithm>
+
+namespace umany
+{
+
+namespace
+{
+
+/** The heaviest non-blocked component of a single record. */
+void
+selfTopOf(const AttribRecord &r, AttribComp &comp, Tick &ticks)
+{
+    comp = AttribComp::ServiceExec;
+    ticks = 0;
+    for (std::size_t i = 0; i < kNumAttribComps; ++i) {
+        if (i == static_cast<std::size_t>(AttribComp::BlockedOnChild))
+            continue;
+        if (r.comp[i] > ticks) {
+            ticks = r.comp[i];
+            comp = static_cast<AttribComp>(i);
+        }
+    }
+}
+
+/** The child whose resolution arrived last (the gating child). */
+const AttribRecord *
+gatingChild(const AttribRecord &node, const RecordLookup &lookup)
+{
+    const AttribRecord *gating = nullptr;
+    for (const RequestId cid : node.children) {
+        const AttribRecord *c = lookup(cid);
+        if (c == nullptr || !c->resolved)
+            continue;
+        if (gating == nullptr || c->resolvedAt > gating->resolvedAt ||
+            (c->resolvedAt == gating->resolvedAt && c->id > gating->id))
+            gating = c;
+    }
+    return gating;
+}
+
+} // namespace
+
+std::vector<AttribComp>
+CriticalPath::ranked() const
+{
+    std::vector<AttribComp> order;
+    order.reserve(kNumAttribComps);
+    for (std::size_t i = 0; i < kNumAttribComps; ++i)
+        order.push_back(static_cast<AttribComp>(i));
+    std::stable_sort(order.begin(), order.end(),
+                     [this](AttribComp a, AttribComp b) {
+        return comp[static_cast<std::size_t>(a)] >
+               comp[static_cast<std::size_t>(b)];
+    });
+    return order;
+}
+
+CriticalPath
+extractCriticalPath(const AttribRecord &root,
+                    const RecordLookup &lookup)
+{
+    constexpr auto blocked =
+        static_cast<std::size_t>(AttribComp::BlockedOnChild);
+
+    CriticalPath path;
+    const AttribRecord *node = &root;
+    std::size_t depth = 0;
+    while (node != nullptr) {
+        CriticalStep step;
+        step.id = node->id;
+        step.service = node->service;
+        step.depth = depth;
+        step.createdAt = node->createdAt;
+        step.resolvedAt = node->resolvedAt;
+        selfTopOf(*node, step.selfTop, step.selfTopTicks);
+        path.steps.push_back(step);
+
+        for (std::size_t i = 0; i < kNumAttribComps; ++i) {
+            if (i != blocked)
+                path.comp[i] += node->comp[i];
+        }
+
+        const AttribRecord *child = gatingChild(*node, lookup);
+        if (child == nullptr) {
+            // Leaf (or unresolvable children): its blocked time is
+            // storage / unexpanded wait and stays attributed here.
+            path.comp[blocked] += node->comp[blocked];
+            break;
+        }
+        // Replace the blocked window with the gating child's own
+        // breakdown; whatever the child does not cover (response
+        // transport, wait beyond the gating child) is genuine
+        // blocked-on-child slack.
+        const Tick child_total = child->total();
+        if (node->comp[blocked] > child_total)
+            path.comp[blocked] += node->comp[blocked] - child_total;
+        node = child;
+        depth += 1;
+    }
+
+    path.totalTicks = root.total();
+    return path;
+}
+
+} // namespace umany

@@ -1,6 +1,7 @@
 #include "obs/trace.hh"
 
 #include "sched/request.hh"
+#include "sim/logging.hh"
 
 namespace umany
 {
@@ -19,6 +20,48 @@ TraceSink::clear()
     dropped_ = 0;
 }
 
+std::uint32_t
+parseTraceFilter(const std::string &spec)
+{
+    if (spec.empty())
+        return traceTrackAll;
+    std::uint32_t mask = 0;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string tok = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (tok.empty())
+            continue;
+        if (tok == "village")
+            mask |= traceTrackVillage;
+        else if (tok == "core")
+            mask |= traceTrackCore;
+        else if (tok == "swq")
+            mask |= traceTrackSwq;
+        else if (tok == "dispatcher")
+            mask |= traceTrackDispatcher;
+        else if (tok == "nic")
+            mask |= traceTrackNic;
+        else if (tok == "icn" || tok == "net")
+            mask |= traceTrackIcn;
+        else if (tok == "counters")
+            mask |= traceTrackCounters;
+        else if (tok == "client")
+            mask |= traceTrackClient;
+        else if (tok == "all")
+            mask |= traceTrackAll;
+        else
+            warn("trace-filter: unknown track '%s' (expected "
+                 "village, core, swq, dispatcher, nic, icn, "
+                 "counters, client, or all)",
+                 tok.c_str());
+    }
+    return mask != 0 ? mask : traceTrackAll;
+}
+
 void
 traceReqCreated(Tick ts, const ServiceRequest &req, std::uint32_t pid)
 {
@@ -27,6 +70,18 @@ traceReqCreated(Tick ts, const ServiceRequest &req, std::uint32_t pid)
         return;
     s->spanBegin(ts, pid, 0, reqStateName(ReqState::Created),
                  req.id());
+    if (req.parent != nullptr) {
+        // Parent -> child RPC edge: the flow arrow starts where the
+        // parent issued the call and ends (in traceReqTransition)
+        // where the child first makes progress. The child's own id
+        // keys the arrow, so fan-out edges stay distinct.
+        const ServiceRequest &p = *req.parent;
+        const std::uint32_t ppid =
+            p.server == invalidId ? 0 : p.server;
+        const std::uint64_t ptid =
+            p.village == invalidId ? 0 : traceVillageTrack(p.village);
+        s->flowStart(ts, ppid, ptid, "rpc", req.id());
+    }
 }
 
 void
@@ -38,6 +93,10 @@ traceReqTransition(Tick ts, const ServiceRequest &req, ReqState next)
     const std::uint32_t pid = req.server == invalidId ? 0 : req.server;
     const std::uint64_t tid =
         req.village == invalidId ? 0 : traceVillageTrack(req.village);
+    if (req.state == ReqState::Created && req.parent != nullptr) {
+        // The child reached its village: terminate the RPC arrow.
+        s->flowEnd(ts, pid, tid, "rpc", req.id());
+    }
     s->spanEnd(ts, pid, tid, reqStateName(req.state), req.id());
     if (next == ReqState::Finished || next == ReqState::Rejected) {
         s->instant(ts, pid, tid, reqStateName(next), req.id());

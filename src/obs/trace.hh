@@ -25,6 +25,7 @@
 #define UMANY_OBS_TRACE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/types.hh"
@@ -67,6 +68,8 @@ enum class TracePhase : std::uint8_t
     DurEnd,    //!< Thread-scoped duration end ('E').
     Instant,   //!< Point event ('i').
     Counter,   //!< Sampled value ('C').
+    FlowStart, //!< Flow arrow start ('s'), keyed by id.
+    FlowEnd,   //!< Flow arrow end ('f', binds to enclosing slice).
 };
 
 /**
@@ -121,6 +124,55 @@ traceSwqTrack(std::uint32_t q)
 /** @} */
 
 /**
+ * @name Track filtering
+ * A filter is a bitmask over track categories; record() silently
+ * skips events whose track is masked out (not counted as overflow
+ * drops — the user asked for them to be absent).
+ * @{
+ */
+constexpr std::uint32_t traceTrackVillage = 1u << 0;
+constexpr std::uint32_t traceTrackCore = 1u << 1;
+constexpr std::uint32_t traceTrackSwq = 1u << 2;
+constexpr std::uint32_t traceTrackDispatcher = 1u << 3;
+constexpr std::uint32_t traceTrackNic = 1u << 4;
+constexpr std::uint32_t traceTrackIcn = 1u << 5;
+constexpr std::uint32_t traceTrackCounters = 1u << 6;
+constexpr std::uint32_t traceTrackClient = 1u << 7;
+constexpr std::uint32_t traceTrackAll = ~0u;
+
+/** Category bit of a track id (see the conventions above). */
+constexpr std::uint32_t
+traceTrackCategory(std::uint64_t tid)
+{
+    if (tid < traceCoreTrackBase)
+        return traceTrackVillage;
+    if (tid < traceSwqTrackBase)
+        return traceTrackCore;
+    if (tid < traceDispatcherTrack)
+        return traceTrackSwq;
+    if (tid == traceDispatcherTrack)
+        return traceTrackDispatcher;
+    if (tid == traceNicTrack)
+        return traceTrackNic;
+    if (tid == traceIcnTrack)
+        return traceTrackIcn;
+    if (tid == traceCounterTrack)
+        return traceTrackCounters;
+    if (tid == traceClientTrack)
+        return traceTrackClient;
+    return traceTrackVillage;
+}
+
+/**
+ * Parse a comma-separated track list ("village,core,icn") into a
+ * filter mask. Accepted tokens: village, core, swq, dispatcher,
+ * nic, icn (alias: net), counters, client, all. Unknown tokens
+ * warn and are ignored; an empty spec means "all".
+ */
+std::uint32_t parseTraceFilter(const std::string &spec);
+/** @} */
+
+/**
  * The bounded event buffer.
  *
  * Overflow policy: the buffer is preallocated and records past
@@ -141,6 +193,8 @@ class TraceSink
     void
     record(const TraceEvent &e)
     {
+        if ((filter_ & traceTrackCategory(e.tid)) == 0)
+            return;
         if (buf_.size() >= cap_) {
             ++dropped_;
             return;
@@ -192,6 +246,22 @@ class TraceSink
         record({ts, TracePhase::Counter, pid, traceCounterTrack,
                 name, 0, value});
     }
+
+    /** Flow arrow start: parent's side of an RPC edge. */
+    void
+    flowStart(Tick ts, std::uint32_t pid, std::uint64_t tid,
+              const char *name, std::uint64_t id)
+    {
+        record({ts, TracePhase::FlowStart, pid, tid, name, id, 0.0});
+    }
+
+    /** Flow arrow end: the child's side of the same edge. */
+    void
+    flowEnd(Tick ts, std::uint32_t pid, std::uint64_t tid,
+            const char *name, std::uint64_t id)
+    {
+        record({ts, TracePhase::FlowEnd, pid, tid, name, id, 0.0});
+    }
     /** @} */
 
     /** @name Introspection @{ */
@@ -205,6 +275,11 @@ class TraceSink
 
     /** Drop all events and reset the drop counter. */
     void clear();
+
+    /** @name Track filter (default: record everything) @{ */
+    void setFilter(std::uint32_t mask) { filter_ = mask; }
+    std::uint32_t filter() const { return filter_; }
+    /** @} */
 
     /** @name The installed (active) sink @{ */
     static TraceSink *active() { return active_; }
@@ -220,6 +295,7 @@ class TraceSink
     std::vector<TraceEvent> buf_;
     std::size_t cap_;
     std::uint64_t dropped_ = 0;
+    std::uint32_t filter_ = traceTrackAll;
 
     static thread_local TraceSink *active_;
 };

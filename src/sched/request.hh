@@ -36,6 +36,8 @@ enum class ReqState : std::uint8_t
 /** Human-readable state name. */
 const char *reqStateName(ReqState s);
 
+struct AttribRecord;
+
 /** One blocking call within a call group. */
 struct CallStep
 {
@@ -142,6 +144,12 @@ class ServiceRequest
     /** Dropped by admission control (NIC buffer exhausted). */
     bool rejected = false;
     /** @} */
+
+    /**
+     * Latency ledger, owned by the active AttribRegistry; nullptr
+     * whenever attribution is disabled.
+     */
+    AttribRecord *attrib = nullptr;
 
   private:
     RequestId id_;

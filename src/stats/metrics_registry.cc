@@ -1,0 +1,163 @@
+#include "stats/metrics_registry.hh"
+
+#include <cctype>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+namespace
+{
+
+/**
+ * Format a sample value the way Prometheus clients do: integral
+ * values without a fraction, everything else with enough digits to
+ * round-trip reasonably.
+ */
+std::string
+formatValue(double v)
+{
+    if (std::isfinite(v) && v == std::floor(v) &&
+        std::fabs(v) < 1e15) {
+        return strprintf("%lld", static_cast<long long>(v));
+    }
+    return strprintf("%.9g", v);
+}
+
+std::string
+escapeLabel(std::string_view v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (const char c : v) {
+        if (c == '\\' || c == '"')
+            out.push_back('\\');
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+void
+writeSample(std::string &out, const std::string &family,
+            const MetricsRegistry::Labels &labels,
+            const std::string &suffix, double value)
+{
+    out += family;
+    out += suffix;
+    if (!labels.empty()) {
+        out += '{';
+        bool first = true;
+        for (const auto &[k, v] : labels) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += k;
+            out += "=\"";
+            out += escapeLabel(v);
+            out += '"';
+        }
+        out += '}';
+    }
+    out += ' ';
+    out += formatValue(value);
+    out += '\n';
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::sanitizeName(std::string_view name)
+{
+    std::string out;
+    out.reserve(name.size() + 6);
+    if (name.rfind("umany_", 0) != 0 && name.rfind("umany.", 0) != 0)
+        out = "umany_";
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    if (!out.empty() && out[0] >= '0' && out[0] <= '9')
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+MetricsRegistry::Family &
+MetricsRegistry::family(std::string_view name, std::string_view help,
+                        const char *type)
+{
+    std::string key = sanitizeName(name);
+    const auto it = index_.find(key);
+    if (it != index_.end())
+        return families_[it->second];
+    index_.emplace(key, families_.size());
+    Family f;
+    f.name = std::move(key);
+    f.help = std::string(help);
+    f.type = type;
+    families_.push_back(std::move(f));
+    return families_.back();
+}
+
+void
+MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                       double value, Labels labels)
+{
+    family(name, help, "gauge")
+        .samples.push_back(Sample{"", std::move(labels), value});
+}
+
+void
+MetricsRegistry::counter(std::string_view name,
+                         std::string_view help, double value,
+                         Labels labels)
+{
+    family(name, help, "counter")
+        .samples.push_back(
+            Sample{"_total", std::move(labels), value});
+}
+
+void
+MetricsRegistry::summary(std::string_view name,
+                         std::string_view help, const Histogram &h,
+                         double scale, Labels labels)
+{
+    Family &f = family(name, help, "summary");
+    static constexpr double quantiles[] = {0.5, 0.9, 0.99, 0.999};
+    for (const double q : quantiles) {
+        Labels qls = labels;
+        qls.emplace_back("quantile", strprintf("%g", q));
+        f.samples.push_back(Sample{
+            "", std::move(qls),
+            static_cast<double>(h.quantile(q)) * scale});
+    }
+    f.samples.push_back(
+        Sample{"_sum", labels,
+               h.mean() * static_cast<double>(h.count()) * scale});
+    f.samples.push_back(Sample{"_count", std::move(labels),
+                               static_cast<double>(h.count())});
+}
+
+std::string
+MetricsRegistry::openMetricsText() const
+{
+    std::string out;
+    for (const Family &f : families_) {
+        out += "# TYPE " + f.name + ' ' + f.type + '\n';
+        if (!f.help.empty())
+            out += "# HELP " + f.name + ' ' + f.help + '\n';
+        for (const Sample &s : f.samples)
+            writeSample(out, f.name, s.labels, s.suffix, s.value);
+    }
+    out += "# EOF\n";
+    return out;
+}
+
+} // namespace umany

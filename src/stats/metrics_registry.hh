@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A metrics registry with an OpenMetrics/Prometheus-text exporter.
+ *
+ * Simulation stats are point-in-time by nature, so the registry is
+ * populated once at the end of a run rather than scraped live; the
+ * text format is the standard one (`# TYPE` / `# HELP` metadata,
+ * label sets, `# EOF` terminator) so the artifact feeds directly
+ * into promtool, Grafana, or any OpenMetrics parser.
+ */
+
+#ifndef UMANY_STATS_METRICS_REGISTRY_HH
+#define UMANY_STATS_METRICS_REGISTRY_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "stats/histogram.hh"
+
+namespace umany
+{
+
+class MetricsRegistry
+{
+  public:
+    using Labels = std::vector<std::pair<std::string, std::string>>;
+
+    /** Point-in-time value. */
+    void gauge(std::string_view name, std::string_view help,
+               double value, Labels labels = {});
+
+    /** Monotonic total (exported with the `_total` suffix). */
+    void counter(std::string_view name, std::string_view help,
+                 double value, Labels labels = {});
+
+    /**
+     * Distribution summary from a histogram: quantiles 0.5/0.9/
+     * 0.99/0.999 plus `_sum` and `_count`. @p scale converts the
+     * histogram's integer samples into the exported unit.
+     */
+    void summary(std::string_view name, std::string_view help,
+                 const Histogram &h, double scale = 1.0,
+                 Labels labels = {});
+
+    /** The OpenMetrics text exposition, terminated by `# EOF`. */
+    std::string openMetricsText() const;
+
+    /**
+     * Map an arbitrary stat name to a legal Prometheus metric name:
+     * illegal characters become '_', and the `umany_` namespace
+     * prefix is added when missing.
+     */
+    static std::string sanitizeName(std::string_view name);
+
+    std::size_t families() const { return families_.size(); }
+
+  private:
+    struct Sample
+    {
+        std::string suffix; //!< Appended to the family name.
+        Labels labels;
+        double value;
+    };
+
+    struct Family
+    {
+        std::string name;
+        std::string help;
+        std::string type; //!< "gauge", "counter", "summary".
+        std::vector<Sample> samples;
+    };
+
+    Family &family(std::string_view name, std::string_view help,
+                   const char *type);
+
+    std::vector<Family> families_;
+    std::unordered_map<std::string, std::size_t> index_;
+};
+
+} // namespace umany
+
+#endif // UMANY_STATS_METRICS_REGISTRY_HH

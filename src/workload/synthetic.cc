@@ -75,4 +75,80 @@ buildSynthetic(const SyntheticParams &p)
     return cat;
 }
 
+ServiceCatalog
+buildSyntheticFanout(const FanoutParams &p)
+{
+    if (p.fanout == 0)
+        fatal("fanout must be positive");
+
+    ServiceCatalog cat;
+
+    // Leaves first so their ids exist when the tiers above refer to
+    // them. A two-segment body around an optional storage call.
+    std::vector<ServiceId> leaves;
+    for (std::uint32_t i = 0; i < p.fanout; ++i) {
+        ServiceSpec leaf;
+        leaf.name = "Leaf" + std::to_string(i);
+        leaf.loadWeight = 0.5;
+        double us = p.leafUs;
+        if (i == p.slowLeaf)
+            us *= p.slowFactor;
+        const bool storage = p.leafStorage;
+        leaf.makeBehavior = [us, storage](Rng &) {
+            Behavior b;
+            if (storage) {
+                b.segments = {fromUs(us / 2.0), fromUs(us / 2.0)};
+                CallStep cs;
+                cs.kind = CallStep::Kind::Storage;
+                cs.requestBytes = 256;
+                cs.responseBytes = 1024;
+                b.groups.push_back(CallGroup{cs});
+            } else {
+                b.segments = {fromUs(us)};
+            }
+            return b;
+        };
+        leaves.push_back(cat.add(std::move(leaf)));
+    }
+
+    std::vector<ServiceId> mids;
+    for (std::uint32_t i = 0; i < p.fanout; ++i) {
+        ServiceSpec mid;
+        mid.name = "Mid" + std::to_string(i);
+        mid.loadWeight = 0.5;
+        const ServiceId leaf = leaves[i];
+        const double us = p.midUs;
+        mid.makeBehavior = [us, leaf](Rng &) {
+            Behavior b;
+            b.segments = {fromUs(us / 2.0), fromUs(us / 2.0)};
+            CallStep cs;
+            cs.kind = CallStep::Kind::Service;
+            cs.callee = leaf;
+            b.groups.push_back(CallGroup{cs});
+            return b;
+        };
+        mids.push_back(cat.add(std::move(mid)));
+    }
+
+    ServiceSpec root;
+    root.name = "FanRoot";
+    root.endpoint = true;
+    const double root_us = p.rootUs;
+    root.makeBehavior = [root_us, mids](Rng &) {
+        Behavior b;
+        b.segments = {fromUs(root_us / 2.0), fromUs(root_us / 2.0)};
+        CallGroup group;
+        for (const ServiceId mid : mids) {
+            CallStep cs;
+            cs.kind = CallStep::Kind::Service;
+            cs.callee = mid;
+            group.push_back(cs);
+        }
+        b.groups.push_back(std::move(group));
+        return b;
+    };
+    cat.add(std::move(root));
+    return cat;
+}
+
 } // namespace umany

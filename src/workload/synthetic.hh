@@ -57,6 +57,40 @@ struct SyntheticParams
  */
 ServiceCatalog buildSynthetic(const SyntheticParams &p);
 
+/** Parameters of the deterministic fan-out tree workload. */
+struct FanoutParams
+{
+    /** Mid-tier services called in parallel by the root. */
+    std::uint32_t fanout = 4;
+    /** Root compute around the fan-out call group. Compute is thin
+     *  by default so the healthy tree's tail is dominated by the
+     *  leaves' storage wait — the injected bottleneck then visibly
+     *  flips the rank-1 attribution to service execution. */
+    double rootUs = 100.0;
+    /** Mid-tier compute around its leaf call. */
+    double midUs = 100.0;
+    /** Leaf compute around its storage call. */
+    double leafUs = 100.0;
+    /** Injected bottleneck: index of one slowed leaf (>= fanout
+     *  disables), and its compute multiplier. */
+    std::uint32_t slowLeaf = ~0u;
+    double slowFactor = 1.0;
+    /** Give leaves a blocking storage call (the only I/O). */
+    bool leafStorage = true;
+};
+
+/**
+ * Build a deterministic three-level fan-out tree: one endpoint
+ * ("FanRoot") fans out to `fanout` mid-tier services ("Mid<i>") in
+ * one parallel call group; each mid calls its own leaf ("Leaf<i>").
+ * Every behaviour is deterministic, so the latency distribution —
+ * and therefore the tail profiler's attribution — is shaped entirely
+ * by queueing and by the injected bottleneck, which makes this the
+ * reference workload for attribution experiments: slowing one leaf
+ * moves the root's critical path through that subtree.
+ */
+ServiceCatalog buildSyntheticFanout(const FanoutParams &p);
+
 } // namespace umany
 
 #endif // UMANY_WORKLOAD_SYNTHETIC_HH

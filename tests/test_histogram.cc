@@ -119,6 +119,64 @@ TEST(Histogram, MergeCombines)
     EXPECT_EQ(a.p50(), 10u);
 }
 
+TEST(Histogram, MergedShardsEqualConcatenatedStream)
+{
+    // The profiler merges per-shard histograms; merging must be
+    // exactly equivalent to having observed the concatenated stream
+    // in one histogram (bucket counts are additive, so every derived
+    // statistic must agree exactly, not just approximately).
+    Rng rng(314);
+    constexpr int kShards = 7;
+    Histogram shards[kShards];
+    Histogram whole;
+    for (int i = 0; i < 70000; ++i) {
+        const std::uint64_t v = rng.below(1ull << 30) + 1;
+        shards[i % kShards].add(v);
+        whole.add(v);
+    }
+    Histogram merged;
+    for (const Histogram &s : shards)
+        merged.merge(s);
+
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_EQ(merged.min(), whole.min());
+    EXPECT_EQ(merged.max(), whole.max());
+    EXPECT_DOUBLE_EQ(merged.mean(), whole.mean());
+    for (double q = 0.01; q < 1.0; q += 0.01)
+        EXPECT_EQ(merged.quantile(q), whole.quantile(q)) << q;
+    EXPECT_DOUBLE_EQ(merged.fractionAbove(1u << 20),
+                     whole.fractionAbove(1u << 20));
+}
+
+TEST(Histogram, MergedQuantileErrorStaysBounded)
+{
+    // Merging shards must not compound the bucketing error: the
+    // merged quantiles obey the same relative error bound as a
+    // single histogram over the full stream.
+    Rng rng(2718);
+    constexpr int kShards = 5;
+    Histogram shards[kShards];
+    std::vector<std::uint64_t> vals;
+    for (int i = 0; i < 100000; ++i) {
+        const std::uint64_t v = rng.below(1ull << 32) + 1;
+        shards[i % kShards].add(v);
+        vals.push_back(v);
+    }
+    Histogram merged;
+    for (const Histogram &s : shards)
+        merged.merge(s);
+    std::sort(vals.begin(), vals.end());
+    for (const double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+        const std::uint64_t exact =
+            vals[static_cast<std::size_t>(q * (vals.size() - 1))];
+        const double rel =
+            std::abs(static_cast<double>(merged.quantile(q)) -
+                     static_cast<double>(exact)) /
+            static_cast<double>(exact);
+        EXPECT_LT(rel, 0.03) << "q=" << q;
+    }
+}
+
 TEST(Histogram, ClearResets)
 {
     Histogram h;

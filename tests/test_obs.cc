@@ -78,6 +78,136 @@ TEST(Json, WriterProducesParseableNesting)
     EXPECT_DOUBLE_EQ(v.find("obj")->find("k")->number, -3.0);
 }
 
+/** Re-serialize a parsed document with the writer. */
+void
+rewriteJson(JsonWriter &w, const JsonValue &v)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Null:
+        w.null();
+        break;
+      case JsonValue::Kind::Bool:
+        w.value(v.boolean);
+        break;
+      case JsonValue::Kind::Number:
+        w.value(v.number);
+        break;
+      case JsonValue::Kind::String:
+        w.value(v.str);
+        break;
+      case JsonValue::Kind::Array:
+        w.beginArray();
+        for (const JsonValue &item : v.items)
+            rewriteJson(w, item);
+        w.endArray();
+        break;
+      case JsonValue::Kind::Object:
+        w.beginObject();
+        for (const auto &[key, member] : v.members) {
+            w.key(key);
+            rewriteJson(w, member);
+        }
+        w.endObject();
+        break;
+    }
+}
+
+/** Structural equality of two parsed documents. */
+bool
+jsonEqual(const JsonValue &a, const JsonValue &b)
+{
+    if (a.kind != b.kind)
+        return false;
+    switch (a.kind) {
+      case JsonValue::Kind::Null:
+        return true;
+      case JsonValue::Kind::Bool:
+        return a.boolean == b.boolean;
+      case JsonValue::Kind::Number:
+        return a.number == b.number;
+      case JsonValue::Kind::String:
+        return a.str == b.str;
+      case JsonValue::Kind::Array:
+        if (a.items.size() != b.items.size())
+            return false;
+        for (std::size_t i = 0; i < a.items.size(); ++i)
+            if (!jsonEqual(a.items[i], b.items[i]))
+                return false;
+        return true;
+      case JsonValue::Kind::Object:
+        if (a.members.size() != b.members.size())
+            return false;
+        for (std::size_t i = 0; i < a.members.size(); ++i) {
+            if (a.members[i].first != b.members[i].first ||
+                !jsonEqual(a.members[i].second,
+                           b.members[i].second)) {
+                return false;
+            }
+        }
+        return true;
+    }
+    return false;
+}
+
+TEST(Json, RoundTripsNestedDocumentsWithEscapes)
+{
+    // write -> parse -> rewrite -> reparse must be a fixed point:
+    // the two serializations are byte-identical and the two parse
+    // trees structurally equal, including every escape class the
+    // writer can produce (quotes, backslashes, control chars,
+    // newlines/tabs) at several nesting depths.
+    JsonWriter w;
+    w.beginObject();
+    w.key("plain").value("text");
+    w.key("esc\"key\\").value("quote \" backslash \\ slash /");
+    w.key("ctl").value(std::string("nul \x01 bell \x07 tab\t"
+                                   "newline\nreturn\r"));
+    w.key("unicodeish").value("caf\xc3\xa9 \xe2\x9c\x93");
+    w.key("nest").beginArray();
+    w.beginObject()
+        .key("inner\n")
+        .beginArray()
+        .value("deep \"s\"")
+        .value(-0.125)
+        .value(false)
+        .null()
+        .endArray()
+        .endObject();
+    w.beginArray().beginArray().value(1.0).endArray().endArray();
+    w.endArray();
+    w.key("empty_obj").beginObject().endObject();
+    w.key("empty_arr").beginArray().endArray();
+    w.endObject();
+    const std::string first = w.str();
+
+    JsonValue v1;
+    std::string err;
+    ASSERT_TRUE(jsonParse(first, v1, &err)) << err;
+
+    JsonWriter w2;
+    rewriteJson(w2, v1);
+    const std::string second = w2.str();
+    EXPECT_EQ(first, second);
+
+    JsonValue v2;
+    ASSERT_TRUE(jsonParse(second, v2, &err)) << err;
+    EXPECT_TRUE(jsonEqual(v1, v2));
+
+    // Spot-check the lossy-prone payloads survived both trips.
+    EXPECT_EQ(v2.find("esc\"key\\")->str,
+              "quote \" backslash \\ slash /");
+    EXPECT_EQ(v2.find("ctl")->str,
+              std::string("nul \x01 bell \x07 tab\tnewline\n"
+                          "return\r"));
+    EXPECT_EQ(v2.find("unicodeish")->str,
+              "caf\xc3\xa9 \xe2\x9c\x93");
+    const JsonValue *deep =
+        v2.find("nest")->items[0].find("inner\n");
+    ASSERT_NE(deep, nullptr);
+    EXPECT_EQ(deep->items[0].str, "deep \"s\"");
+    EXPECT_DOUBLE_EQ(deep->items[1].number, -0.125);
+}
+
 TEST(Json, ParserRejectsMalformedInput)
 {
     JsonValue v;
@@ -394,6 +524,37 @@ TEST(Sampler, SamplesAtExactIntervalAndStops)
               sampler.samples().size());
     EXPECT_EQ(v.find("servers")->items.size(),
               static_cast<std::size_t>(cfg.cluster.numServers));
+}
+
+TEST(Sampler, EmitsFinalSampleExactlyAtStop)
+{
+    // A window that is NOT a multiple of the interval: the sampler
+    // must clamp the last interval and emit one final sample exactly
+    // at the stop tick, so the series always covers the full
+    // measurement window.
+    const ServiceCatalog cat = buildSocialNetwork();
+    ExperimentConfig cfg = tinyConfig();
+    const Tick interval = fromUs(700.0);
+    const Tick until = fromMs(2.0); // 2000us = 2*700 + 600
+
+    EventQueue eq;
+    ClusterSim sim(eq, cat, cfg.machine, cfg.cluster);
+    Sampler sampler(eq, sim, interval);
+    sampler.start(until);
+
+    LoadGenParams lp;
+    lp.rps = 2000.0;
+    lp.stop = until;
+    lp.seed = 11;
+    LoadGenerator gen(eq, cat, lp,
+                      [&sim](ServiceId ep) { sim.submitRoot(ep); });
+    gen.start();
+    EXPECT_TRUE(eq.runUntil(until + fromSec(2.0)));
+
+    ASSERT_EQ(sampler.samples().size(), 3u);
+    EXPECT_EQ(sampler.samples()[0].ts, interval);
+    EXPECT_EQ(sampler.samples()[1].ts, 2 * interval);
+    EXPECT_EQ(sampler.samples().back().ts, until);
 }
 
 TEST(Artifact, RunArtifactIsSelfContained)
