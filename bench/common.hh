@@ -47,6 +47,20 @@ obsFromConfig(const Config &cfg)
         fatal("tail_topk must be positive (got %lld)",
               static_cast<long long>(top_k));
     obs.tailTopK = static_cast<std::size_t>(top_k);
+    obs.simProfile = cfg.getString("sim_profile", "");
+    // --progress=SEC sets the heartbeat period; the boolean
+    // spellings (--progress=on) pick a 5-second default.
+    const std::string prog = cfg.getString("progress", "");
+    if (prog == "true" || prog == "yes" || prog == "on") {
+        obs.progressSec = 5.0;
+    } else if (!prog.empty() && prog != "false" && prog != "no" &&
+               prog != "off") {
+        obs.progressSec = cfg.getDouble("progress");
+        if (obs.progressSec < 0.0)
+            fatal("progress must be >= 0 seconds (got %g)",
+                  obs.progressSec);
+    }
+    obs.runSummary = cfg.getBool("run_summary", false);
     return obs;
 }
 
@@ -71,6 +85,11 @@ struct BenchArgs
      *   --tail-profile=PATH      tail-profile JSON (implies attrib)
      *   --metrics-out=PATH       OpenMetrics text artifact
      *   --tail-topk=N            slow-root captures per endpoint
+     *   --sim-profile=PATH       simulator self-profile JSON (plus
+     *                            a readable table on stderr)
+     *   --progress=SEC           heartbeat on stderr every SEC host
+     *                            seconds (=on picks 5 s; 0 = off)
+     *   --run-summary=1          run-health block on stderr
      */
     ObsConfig obs;
     /**
@@ -128,6 +147,7 @@ obsForPoint(const ObsConfig &obs, std::size_t point,
     o.statsJson = pointPath(obs.statsJson, point, npoints);
     o.tailProfile = pointPath(obs.tailProfile, point, npoints);
     o.metricsOut = pointPath(obs.metricsOut, point, npoints);
+    o.simProfile = pointPath(obs.simProfile, point, npoints);
     return o;
 }
 

@@ -18,6 +18,7 @@
 #include <functional>
 #include <queue>
 
+#include "obs/simprof.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 #include "stats/table.hh"
@@ -92,6 +93,42 @@ class LegacyEventQueue
     Tick _now = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t dispatched_ = 0;
+};
+
+/**
+ * The current kernel with a SimProfiler attached: measures what
+ * --sim-profile costs on the pure kernel hot path (the worst case —
+ * real runs spend most time in callbacks, not the kernel).
+ */
+class ProfiledEventQueue
+{
+  public:
+    ProfiledEventQueue() { eq_.setProfiler(&prof_); }
+
+    void
+    schedule(Tick when, EventQueue::Callback cb)
+    {
+        eq_.schedule(when, std::move(cb));
+    }
+
+    void
+    scheduleAfter(Tick delta, EventQueue::Callback cb)
+    {
+        eq_.scheduleAfter(delta, std::move(cb));
+    }
+
+    std::uint64_t dispatched() const { return eq_.dispatched(); }
+
+    void
+    run()
+    {
+        eq_.run();
+        prof_.finalize();
+    }
+
+  private:
+    EventQueue eq_;
+    SimProfiler prof_;
 };
 
 /**
@@ -202,6 +239,7 @@ struct PatternRow
     const char *name;
     Measurement legacy;
     Measurement current;
+    Measurement profiled;
 };
 
 } // namespace
@@ -221,12 +259,18 @@ main()
          measure<LegacyEventQueue>(
              [](auto &eq, std::int64_t c) { fifoPattern(eq, c); }, n),
          measure<EventQueue>(
-             [](auto &eq, std::int64_t c) { fifoPattern(eq, c); }, n)},
+             [](auto &eq, std::int64_t c) { fifoPattern(eq, c); }, n),
+         measure<ProfiledEventQueue>(
+             [](auto &eq, std::int64_t c) { fifoPattern(eq, c); },
+             n)},
         {"random-order dispatch (64k)",
          measure<LegacyEventQueue>(
              [](auto &eq, std::int64_t c) { randomPattern(eq, c); },
              n),
          measure<EventQueue>(
+             [](auto &eq, std::int64_t c) { randomPattern(eq, c); },
+             n),
+         measure<ProfiledEventQueue>(
              [](auto &eq, std::int64_t c) { randomPattern(eq, c); },
              n)},
         {"self-rescheduling chain (100k)",
@@ -234,6 +278,9 @@ main()
              [](auto &eq, std::int64_t c) { chainPattern(eq, c); },
              chain),
          measure<EventQueue>(
+             [](auto &eq, std::int64_t c) { chainPattern(eq, c); },
+             chain),
+         measure<ProfiledEventQueue>(
              [](auto &eq, std::int64_t c) { chainPattern(eq, c); },
              chain)},
     };
@@ -249,7 +296,27 @@ main()
                   Table::num(r.current.allocsPerEvent, 3),
                   Table::num(r.current.eventsPerSec /
                              r.legacy.eventsPerSec)});
+        t.addRow({r.name, "current + sim-profile",
+                  Table::num(r.profiled.eventsPerSec, 0),
+                  Table::num(r.profiled.allocsPerEvent, 3),
+                  Table::num(r.profiled.eventsPerSec /
+                             r.legacy.eventsPerSec)});
     }
     std::printf("%s\n", t.format().c_str());
+
+    // Self-profiling overhead on the pure kernel path. Real runs
+    // spend most host time inside event callbacks, so end-to-end
+    // overhead is smaller than these worst-case numbers (the <5%
+    // target is pinned end-to-end by tests/test_simprof.cc).
+    std::printf("sim-profile kernel overhead:");
+    for (const PatternRow &r : rows) {
+        const double over =
+            r.profiled.eventsPerSec > 0.0
+                ? r.current.eventsPerSec / r.profiled.eventsPerSec -
+                      1.0
+                : 0.0;
+        std::printf("  %s: %+.1f%%", r.name, over * 100.0);
+    }
+    std::printf("\n");
     return 0;
 }

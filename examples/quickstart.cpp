@@ -71,6 +71,16 @@ main(int argc, char **argv)
     exp.obs.metricsOut = cfg.getString("metrics_out", "");
     exp.obs.tailTopK = static_cast<std::size_t>(
         cfg.getInt("tail_topk", 32));
+    exp.obs.simProfile = cfg.getString("sim_profile", "");
+    // Bare "--progress" means "heartbeat at the default period".
+    const std::string progress = cfg.getString("progress", "");
+    if (progress == "true")
+        exp.obs.progressSec = 5.0;
+    else if (!progress.empty())
+        exp.obs.progressSec = cfg.getDouble("progress");
+    if (exp.obs.progressSec < 0.0)
+        fatal("progress must be >= 0 (got %g)", exp.obs.progressSec);
+    exp.obs.runSummary = cfg.getBool("run_summary", false);
 
     const ServiceCatalog catalog =
         cfg.getString("app", "social") == "media"

@@ -229,7 +229,8 @@ ClusterSim::submitRoot(ServiceId endpoint)
     const Tick arrive =
         eq_.now() +
         servers_[target]->machine().topNic().params().extLatency;
-    eq_.schedule(arrive, [this, req, target]() {
+    eq_.schedule(arrive, EvTag{EvSrc::NetExternal},
+                 [this, req, target]() {
         servers_[target]->machine().externalArrival(req);
     });
 }
@@ -259,14 +260,15 @@ ClusterSim::launchAttempt(std::uint64_t task_id)
     const Tick arrive =
         eq_.now() +
         servers_[target]->machine().topNic().params().extLatency;
-    eq_.schedule(arrive, [this, req, target]() {
+    eq_.schedule(arrive, EvTag{EvSrc::NetExternal},
+                 [this, req, target]() {
         servers_[target]->machine().externalArrival(req);
     });
 
     // The event queue has no cancel primitive: the timeout carries
     // the attempt generation and no-ops once the attempt resolved.
     eq_.schedule(eq_.now() + p_.recovery.timeout,
-                 [this, task_id, gen]() {
+                 EvTag{EvSrc::ClientRetry}, [this, task_id, gen]() {
                      onAttemptTimeout(task_id, gen);
                  });
 }
@@ -318,7 +320,8 @@ ClusterSim::scheduleRetry(std::uint64_t task_id)
     UMANY_TRACE(TraceSink::active()->instant(
         eq_.now(), t.lastTarget, traceClientTrack, "recovery.retry",
         task_id, static_cast<double>(t.attempt)));
-    eq_.schedule(eq_.now() + delay, [this, task_id, gen]() {
+    eq_.schedule(eq_.now() + delay, EvTag{EvSrc::ClientRetry},
+                 [this, task_id, gen]() {
         auto it = tasks_.find(task_id);
         if (it == tasks_.end() || it->second.generation != gen)
             return;
@@ -416,7 +419,8 @@ ClusterSim::handleStorageCall(ServerId s, ServiceRequest *parent,
         done +
         servers_[s]->machine().topNic().params().extLatency;
     const std::uint32_t bytes = step.responseBytes;
-    eq_.schedule(back, [this, s, parent, bytes]() {
+    eq_.schedule(back, EvTag{EvSrc::NetExternal},
+                 [this, s, parent, bytes]() {
         servers_[s]->machine().externalResponse(parent, bytes);
     });
 }
@@ -451,7 +455,8 @@ ClusterSim::handleServiceCall(ServerId s, ServiceRequest *parent,
                                                  child]() {
         const Tick arrive = interServer_->send(
             s, target, child->reqBytes, eq_.now());
-        eq_.schedule(arrive, [this, target, child]() {
+        eq_.schedule(arrive, EvTag{EvSrc::NetExternal},
+                     [this, target, child]() {
             servers_[target]->machine().externalArrival(child);
         });
     });
@@ -466,7 +471,8 @@ ClusterSim::handleRemoteChildFinished(ServerId s,
     const std::uint32_t bytes = child->respBytes;
     const Tick arrive =
         interServer_->send(s, home, bytes, eq_.now());
-    eq_.schedule(arrive, [this, home, parent, bytes]() {
+    eq_.schedule(arrive, EvTag{EvSrc::NetExternal},
+                 [this, home, parent, bytes]() {
         servers_[home]->machine().externalResponse(parent, bytes);
     });
     destroy(child);

@@ -109,6 +109,23 @@ Machine::buildTopology()
         streamSeed(seed_, rngstream::network));
     net_->setContention(p_.icnContention);
     net_->setTracePid(self_);
+
+    // Endpoint -> cluster map for the self-profiler's traffic
+    // matrix: leaf endpoints (villages and the per-cluster pool) map
+    // to their cluster, everything else (the external/top-NIC
+    // endpoint) to one "ext" bucket past the last cluster.
+    const std::uint32_t num_clusters =
+        p_.numCores / (p_.coresPerVillage * p_.villagesPerCluster);
+    const std::uint32_t epl =
+        p_.villagesPerCluster + (p_.hasMemoryPool ? 1 : 0);
+    std::vector<std::uint16_t> parts(
+        topo_->endpointCount(),
+        static_cast<std::uint16_t>(num_clusters));
+    for (std::size_t e = 0; e < parts.size(); ++e) {
+        if (e < static_cast<std::size_t>(num_clusters) * epl)
+            parts[e] = static_cast<std::uint16_t>(e / epl);
+    }
+    net_->setEndpointPartitions(std::move(parts));
 }
 
 void
@@ -337,7 +354,8 @@ Machine::externalArrival(ServiceRequest *req)
     } else {
         v = serviceMap_.pick(req->service());
     }
-    eventq().schedule(t, [this, req, v, ext]() {
+    eventq().schedule(t, evTagV(EvSrc::RpcNic, v),
+                      [this, req, v, ext]() {
         UMANY_ATTRIB(AttribRegistry::active()->charge(
             *req, AttribComp::NicDispatch, curTick()));
         sendIcn(ext, villageEndpoint(v), req->reqBytes,
@@ -385,19 +403,21 @@ Machine::shedRequest(ServiceRequest *req, Tick ready_at)
         const Tick t = ready_at + topNic_->extLatency();
         UMANY_ATTRIB(AttribRegistry::active()->charge(
             *req, AttribComp::NicDispatch, t));
-        eventq().schedule(t,
+        eventq().schedule(t, EvTag{EvSrc::RpcNic},
                           [this, req]() { onRootComplete(req); });
     } else if (req->parent->server == self_) {
         ServiceRequest *parent = req->parent;
         UMANY_ATTRIB(AttribRegistry::active()->charge(
             *req, AttribComp::NicDispatch, ready_at));
-        eventq().schedule(ready_at, [this, parent, req]() {
+        eventq().schedule(ready_at, EvTag{EvSrc::RpcNic},
+                          [this, parent, req]() {
             deliverChildResponse(parent, req);
         });
     } else {
         UMANY_ATTRIB(AttribRegistry::active()->charge(
             *req, AttribComp::NicDispatch, ready_at));
-        eventq().schedule(ready_at, [this, req]() {
+        eventq().schedule(ready_at, EvTag{EvSrc::RpcNic},
+                          [this, req]() {
             onRemoteChildFinished(req);
         });
     }
@@ -423,7 +443,8 @@ Machine::villageIngress(ServiceRequest *req, VillageId v)
     // centralized dispatcher before it can be queued (§4.4).
     if (p_.sched == MachineParams::Sched::SwQueue)
         t = dispatcher_->process(t);
-    eventq().schedule(t, [this, req]() { enqueueFresh(req); });
+    eventq().schedule(t, evTagV(EvSrc::SchedDispatch, v),
+                      [this, req]() { enqueueFresh(req); });
 }
 
 void
@@ -456,7 +477,8 @@ Machine::enqueueFresh(ServiceRequest *req)
                                 : queueOfVillage(v);
     req->queueId = q;
     const Tick done = swq_->enqueue(q, req->seq, req, curTick());
-    eventq().schedule(done, [this, q]() { tryWakeQueue(q); });
+    eventq().schedule(done, EvTag{EvSrc::SchedDispatch},
+                      [this, q]() { tryWakeQueue(q); });
 }
 
 void
@@ -479,7 +501,8 @@ Machine::reEnqueue(ServiceRequest *req)
     }
     const std::uint32_t q = req->queueId;
     const Tick done = swq_->enqueue(q, req->seq, req, curTick());
-    eventq().schedule(done, [this, q]() { tryWakeQueue(q); });
+    eventq().schedule(done, EvTag{EvSrc::SchedDispatch},
+                      [this, q]() { tryWakeQueue(q); });
 }
 
 void
@@ -562,8 +585,9 @@ Machine::startRun(CoreId core, ServiceRequest *req, Tick ready_at)
         if (bytes > 0) {
             const VillageId from = villageOfCore(last);
             const VillageId to = villageOfCore(core);
-            eventq().schedule(t, [this, core, req, from, to,
-                                  bytes]() {
+            eventq().schedule(t, evTagV(EvSrc::MemCoherence, to),
+                              [this, core, req, from, to,
+                               bytes]() {
                 sendIcn(villageEndpoint(from), villageEndpoint(to),
                         static_cast<std::uint32_t>(bytes),
                         MsgClass::BulkData,
@@ -575,7 +599,8 @@ Machine::startRun(CoreId core, ServiceRequest *req, Tick ready_at)
         }
     }
 
-    eventq().schedule(t, [this, core, req]() {
+    eventq().schedule(t, evTagC(EvSrc::CoreRun, core),
+                      [this, core, req]() {
         runSegment(core, req);
     });
 }
@@ -644,7 +669,8 @@ Machine::runSegment(CoreId core, ServiceRequest *req)
         }
     }
 
-    eventq().scheduleAfter(dur, [this, core, req]() {
+    eventq().scheduleAfter(dur, evTagC(EvSrc::CoreRun, core),
+                           [this, core, req]() {
         segmentDone(core, req);
     });
 }
@@ -662,7 +688,8 @@ Machine::segmentDone(CoreId core, ServiceRequest *req)
             t += cyc(static_cast<double>(p_.rq.completeCycles));
         UMANY_ATTRIB(AttribRegistry::active()->charge(
             *req, AttribComp::NicDispatch, t));
-        eventq().schedule(t, [this, core, req, v]() {
+        eventq().schedule(t, evTagV(EvSrc::ReqComplete, v),
+                          [this, core, req, v]() {
             finishRequest(req, v);
             releaseCore(core);
         });
@@ -702,7 +729,8 @@ Machine::segmentDone(CoreId core, ServiceRequest *req)
         UMANY_ATTRIB(AttribRegistry::active()->charge(
             *req, AttribComp::CtxSwitch, t));
     }
-    eventq().schedule(t, [this, core, req, v]() {
+    eventq().schedule(t, evTagV(EvSrc::CtxSwitch, v),
+                      [this, core, req, v]() {
         issueCallGroup(req, v);
         releaseCore(core);
     });
@@ -729,7 +757,8 @@ Machine::issueCallGroup(ServiceRequest *req, VillageId v)
                                                  step.requestBytes);
                         t += rnic_->sendPenalty();
                         t += topNic_->extLatency();
-                        eventq().schedule(t, [this, req, step]() {
+                        eventq().schedule(t, EvTag{EvSrc::RpcNic},
+                                          [this, req, step]() {
                             onStorageCall(req, step);
                         });
                     });
@@ -775,7 +804,8 @@ Machine::finishRequest(ServiceRequest *req, VillageId v)
                     t += rnic_->sendPenalty() + topNic_->extLatency();
                     UMANY_ATTRIB(AttribRegistry::active()->charge(
                         *req, AttribComp::NicDispatch, t));
-                    eventq().schedule(t, [this, req]() {
+                    eventq().schedule(t, EvTag{EvSrc::RpcNic},
+                                      [this, req]() {
                         onRootComplete(req);
                     });
                 });
@@ -798,7 +828,8 @@ Machine::finishRequest(ServiceRequest *req, VillageId v)
                     t += rnic_->sendPenalty();
                     UMANY_ATTRIB(AttribRegistry::active()->charge(
                         *req, AttribComp::NicDispatch, t));
-                    eventq().schedule(t, [this, req]() {
+                    eventq().schedule(t, EvTag{EvSrc::RpcNic},
+                                      [this, req]() {
                         onRemoteChildFinished(req);
                     });
                 });
@@ -826,9 +857,9 @@ Machine::deliverChildResponse(ServiceRequest *parent,
         panic("response for a parent with no pending children");
     parent->pendingChildren -= 1;
     if (parent->pendingChildren == 0) {
-        eventq().schedule(t, [this, parent]() {
-            responseProcessed(parent);
-        });
+        eventq().schedule(
+            t, evTagV(EvSrc::ReqComplete, parent->village),
+            [this, parent]() { responseProcessed(parent); });
     }
 }
 
@@ -837,7 +868,8 @@ Machine::externalResponse(ServiceRequest *parent, std::uint32_t bytes)
 {
     const Tick t0 = topNic_->ingress(curTick(), bytes);
     rnic_->onAck();
-    eventq().schedule(t0, [this, parent, bytes]() {
+    eventq().schedule(t0, EvTag{EvSrc::RpcNic},
+                      [this, parent, bytes]() {
         sendIcn(topo_->externalEndpoint(),
                 villageEndpoint(parent->village), bytes,
                 MsgClass::Response, [this, parent]() {
@@ -851,9 +883,13 @@ Machine::externalResponse(ServiceRequest *parent, std::uint32_t bytes)
                               "children");
                     parent->pendingChildren -= 1;
                     if (parent->pendingChildren == 0) {
-                        eventq().schedule(t, [this, parent]() {
-                            responseProcessed(parent);
-                        });
+                        eventq().schedule(
+                            t,
+                            evTagV(EvSrc::ReqComplete,
+                                   parent->village),
+                            [this, parent]() {
+                                responseProcessed(parent);
+                            });
                     }
                 });
     });
@@ -873,7 +909,7 @@ Machine::outboundRequest(ServiceRequest *req, VillageId from,
                 t += rnic_->sendPenalty();
                 UMANY_ATTRIB(AttribRegistry::active()->charge(
                     *req, AttribComp::NicDispatch, t));
-                eventq().schedule(t, on_exit);
+                eventq().schedule(t, EvTag{EvSrc::RpcNic}, on_exit);
             });
 }
 
@@ -890,7 +926,7 @@ Machine::responseProcessed(ServiceRequest *parent)
     if (p_.cs.scheme != CsScheme::HardwareRq) {
         const Tick t = dispatcher_->process(
             curTick(), p_.dispatcher.opCycles + p_.cs.restoreCycles);
-        eventq().schedule(t,
+        eventq().schedule(t, EvTag{EvSrc::CtxSwitch},
                           [this, parent]() { reEnqueue(parent); });
         return;
     }
@@ -921,7 +957,8 @@ Machine::rejectRequest(ServiceRequest *req)
                         topNic_->extLatency();
                     UMANY_ATTRIB(AttribRegistry::active()->charge(
                         *req, AttribComp::NicDispatch, t));
-                    eventq().schedule(t, [this, req]() {
+                    eventq().schedule(t, EvTag{EvSrc::RpcNic},
+                                      [this, req]() {
                         onRootComplete(req);
                     });
                 });
@@ -939,7 +976,8 @@ Machine::rejectRequest(ServiceRequest *req)
                     const Tick t = topNic_->egress(curTick(), 128);
                     UMANY_ATTRIB(AttribRegistry::active()->charge(
                         *req, AttribComp::NicDispatch, t));
-                    eventq().schedule(t, [this, req]() {
+                    eventq().schedule(t, EvTag{EvSrc::RpcNic},
+                                      [this, req]() {
                         onRemoteChildFinished(req);
                     });
                 });

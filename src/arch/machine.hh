@@ -279,6 +279,20 @@ class Machine : public SimObject
     }
     /** @} */
 
+    /** @name Event-tag helpers (self-profiling taxonomy) @{ */
+    EvTag
+    evTagV(EvSrc s, VillageId v) const
+    {
+        return EvTag{
+            s, static_cast<std::uint16_t>(clusterOfVillage(v))};
+    }
+    EvTag
+    evTagC(EvSrc s, CoreId c) const
+    {
+        return evTagV(s, villageOfCore(c));
+    }
+    /** @} */
+
     /** @name Lifecycle steps @{ */
     void villageIngress(ServiceRequest *req, VillageId v);
     void enqueueFresh(ServiceRequest *req);

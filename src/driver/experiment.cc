@@ -1,5 +1,7 @@
 #include "driver/experiment.hh"
 
+#include <chrono>
+#include <cstdio>
 #include <memory>
 
 #include "driver/report.hh"
@@ -8,6 +10,7 @@
 #include "obs/chrome_trace.hh"
 #include "obs/json.hh"
 #include "obs/sampler.hh"
+#include "obs/simprof.hh"
 #include "sim/logging.hh"
 #include "stats/metrics_registry.hh"
 #include "validate/invariants.hh"
@@ -31,6 +34,133 @@ catalogNamer(const ServiceCatalog &catalog)
         }
         return catalog.at(s).name;
     };
+}
+
+/**
+ * Run to @p limit with a host-time progress heartbeat on stderr.
+ * The heartbeat interleaves via the kernel's event budget, so the
+ * hot path stays untouched: the host clock is read once per chunk
+ * of events, not per event. stdout stays byte-identical either way.
+ */
+bool
+runWithProgress(EventQueue &eq, Tick limit, double progress_sec)
+{
+    if (progress_sec <= 0.0)
+        return eq.runUntil(limit);
+
+    using HostClock = std::chrono::steady_clock;
+    constexpr std::uint64_t chunkEvents = 1u << 17;
+    const auto period = std::chrono::duration<double>(progress_sec);
+    const HostClock::time_point start = HostClock::now();
+    HostClock::time_point lastBeat = start;
+    std::uint64_t lastEvents = eq.dispatched();
+    for (;;) {
+        const EventQueue::RunResult r =
+            eq.runUntil(limit, chunkEvents);
+        if (r == EventQueue::RunResult::Drained)
+            return true;
+        if (r == EventQueue::RunResult::Limited)
+            return false;
+        const HostClock::time_point t = HostClock::now();
+        if (t - lastBeat < period)
+            continue;
+        const double window =
+            std::chrono::duration<double>(t - lastBeat).count();
+        const double elapsed =
+            std::chrono::duration<double>(t - start).count();
+        const std::uint64_t events = eq.dispatched();
+        const double rate =
+            window > 0.0
+                ? static_cast<double>(events - lastEvents) / window
+                : 0.0;
+        std::fprintf(stderr,
+                     "[progress] sim %9.3f ms | events %12llu | "
+                     "%8.3f Mev/s | queue %8zu | host %7.1f s\n",
+                     toMs(eq.now()),
+                     static_cast<unsigned long long>(events),
+                     rate / 1e6, eq.size(), elapsed);
+        lastBeat = t;
+        lastEvents = events;
+    }
+}
+
+/**
+ * Run-health block on stderr: did the run drain, what did the
+ * resilience machinery do, and did any observer lose data? Meant to
+ * be scanned by a human after a long run, so it is prose-dense and
+ * never touches stdout.
+ */
+void
+printRunSummary(ClusterSim &sim, const EventQueue &eq, bool drained,
+                const Sampler *sampler, const TraceSink *sink,
+                const AttribRegistry *attrib)
+{
+    std::uint64_t reroutes = 0;
+    std::uint64_t corrupt_retx = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t no_path_drops = 0;
+    for (ServerId s = 0; s < sim.numServers(); ++s) {
+        const Network &net = sim.machine(s).network();
+        reroutes += net.reroutes();
+        corrupt_retx += net.corruptRetransmits();
+        degraded += net.degradedDeliveries();
+        no_path_drops += net.messagesDropped();
+    }
+    std::fprintf(stderr, "[run-summary] %s after %llu events "
+                 "(sim %.3f ms)\n",
+                 drained ? "drained" : "HIT DRAIN LIMIT",
+                 static_cast<unsigned long long>(eq.dispatched()),
+                 toMs(eq.now()));
+    std::fprintf(stderr,
+                 "[run-summary] roots: %llu completed, %llu "
+                 "rejected, %llu shed\n",
+                 static_cast<unsigned long long>(
+                     sim.completedRoots()),
+                 static_cast<unsigned long long>(
+                     sim.rejectedRoots()),
+                 static_cast<unsigned long long>(sim.shedRoots()));
+    if (sim.recoveryEnabled()) {
+        std::fprintf(stderr,
+                     "[run-summary] recovery: %llu timeouts, %llu "
+                     "retries, %llu stale responses\n",
+                     static_cast<unsigned long long>(sim.timeouts()),
+                     static_cast<unsigned long long>(sim.retries()),
+                     static_cast<unsigned long long>(
+                         sim.staleResponses()));
+    }
+    std::fprintf(stderr,
+                 "[run-summary] net: %llu reroutes, %llu corrupt "
+                 "retransmits, %llu degraded deliveries, %llu "
+                 "no-path drops\n",
+                 static_cast<unsigned long long>(reroutes),
+                 static_cast<unsigned long long>(corrupt_retx),
+                 static_cast<unsigned long long>(degraded),
+                 static_cast<unsigned long long>(no_path_drops));
+    if (sink != nullptr) {
+        std::fprintf(stderr,
+                     "[run-summary] trace: %llu recorded, %llu "
+                     "dropped%s\n",
+                     static_cast<unsigned long long>(
+                         sink->recorded()),
+                     static_cast<unsigned long long>(
+                         sink->dropped()),
+                     sink->dropped() > 0
+                         ? " (truncated; raise trace capacity)"
+                         : "");
+    }
+    if (sampler != nullptr) {
+        std::fprintf(stderr, "[run-summary] sampler: %zu samples\n",
+                     sampler->samples().size());
+    }
+    if (attrib != nullptr) {
+        std::fprintf(stderr,
+                     "[run-summary] attrib: %llu roots, %llu "
+                     "ledger mismatches\n",
+                     static_cast<unsigned long long>(
+                         attrib->rootsObserved()),
+                     static_cast<unsigned long long>(
+                         attrib->ledgerMismatches()));
+    }
 }
 
 } // namespace
@@ -75,6 +205,15 @@ runExperiment(const ServiceCatalog &catalog,
 #endif
 
     EventQueue eq;
+    // The self-profiler attaches before the cluster is built so the
+    // warmup and construction-time events are attributed too. When
+    // the path is empty the kernel keeps its detached (one branch
+    // per event) fast path and all outputs stay byte-identical.
+    std::unique_ptr<SimProfiler> simprof;
+    if (!cfg.obs.simProfile.empty()) {
+        simprof = std::make_unique<SimProfiler>();
+        eq.setProfiler(simprof.get());
+    }
     ClusterSim sim(eq, catalog, cfg.machine, cfg.cluster);
     for (const auto &[ep, threshold] : cfg.qosThresholds)
         sim.setQosThreshold(ep, threshold);
@@ -102,12 +241,14 @@ runExperiment(const ServiceCatalog &catalog,
     gen.start();
 
     sim.setRecording(false);
-    eq.schedule(cfg.warmup, [&sim]() { sim.setRecording(true); });
+    eq.schedule(cfg.warmup, EvTag{EvSrc::Kernel},
+                [&sim]() { sim.setRecording(true); });
 
     // Run through the load window, then drain in-flight requests
     // (bounded, so saturated configurations still terminate).
-    const bool drained =
-        eq.runUntil(cfg.warmup + cfg.measure + cfg.drainLimit);
+    const bool drained = runWithProgress(
+        eq, cfg.warmup + cfg.measure + cfg.drainLimit,
+        cfg.obs.progressSec);
     if (!drained) {
         warn("experiment '%s' hit the drain limit with %zu events "
              "and %llu requests pending",
@@ -126,6 +267,23 @@ runExperiment(const ServiceCatalog &catalog,
 
     if (tracing)
         writeChromeTrace(*sink, cfg.obs.traceOut);
+
+    if (simprof) {
+        eq.setProfiler(nullptr);
+        simprof->finalize();
+        // Partitionability context comes from server 0: every server
+        // shares one MachineParams, so the cluster count and the
+        // conservative-DES lookahead bound are identical across the
+        // fleet.
+        const Machine &m0 = sim.machine(0);
+        simprof->setPartitionInfo(
+            m0.numClusters(),
+            minCrossPartitionLatency(
+                m0.topology(), m0.network().endpointPartitions(),
+                m0.numClusters()));
+        writeTextFile(cfg.obs.simProfile, simprof->toJson());
+        std::fputs(simprof->formatTable().c_str(), stderr);
+    }
 
     StatsDump stats;
     if (stats_out != nullptr || !cfg.obs.statsJson.empty() ||
@@ -220,6 +378,11 @@ runExperiment(const ServiceCatalog &catalog,
         w.endObject();
         writeTextFile(cfg.obs.statsJson, w.str());
     }
+
+    if (cfg.obs.runSummary) {
+        printRunSummary(sim, eq, drained, sampler.get(),
+                        sink.get(), attrib.get());
+    }
     return metrics;
 }
 
@@ -247,7 +410,8 @@ contentionFreeAverages(const ServiceCatalog &catalog,
     });
     gen.start();
     sim.setRecording(false);
-    eq.schedule(cfg.warmup, [&sim]() { sim.setRecording(true); });
+    eq.schedule(cfg.warmup, EvTag{EvSrc::Kernel},
+                [&sim]() { sim.setRecording(true); });
     eq.runUntil(cfg.warmup + cfg.measure + cfg.drainLimit);
 
     std::map<ServiceId, Tick> avgs;

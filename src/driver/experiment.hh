@@ -51,6 +51,20 @@ struct ObsConfig
     std::string metricsOut;
     /** Slowest-root captures retained per endpoint. */
     std::size_t tailTopK = 32;
+    /**
+     * Host-side simulator self-profile JSON path ("" disables).
+     * When set, every event executed by the kernel is attributed to
+     * its source subsystem and ICN cluster, and the run also prints
+     * a human-readable profile table to stderr.
+     */
+    std::string simProfile;
+    /**
+     * Progress heartbeat period in host seconds (0 disables). The
+     * heartbeat goes to stderr so machine-read stdout stays clean.
+     */
+    double progressSec = 0.0;
+    /** Print a run-health summary block to stderr after the run. */
+    bool runSummary = false;
 };
 
 /** Attribution results of one run (filled when enabled). */

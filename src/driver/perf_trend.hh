@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Perf-trajectory comparison: diff two `BENCH_perf.json` documents
+ * (see EXPERIMENTS.md, "BENCH_perf.json schema") and decide whether
+ * the current build regressed against a committed baseline.
+ *
+ * The metric set is a fixed spec table, not "every number in the
+ * file": wall-clock numbers from shared CI runners are noisy, so
+ * each metric declares a direction of goodness, whether it gates
+ * the exit code or is informational-only, and an optional absolute
+ * slack for near-zero metrics (allocs/event) where a relative
+ * threshold is meaningless.
+ */
+
+#ifndef UMANY_DRIVER_PERF_TREND_HH
+#define UMANY_DRIVER_PERF_TREND_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace umany
+{
+
+/** Which way a perf metric improves. */
+enum class PerfDirection : std::uint8_t
+{
+    HigherIsBetter,
+    LowerIsBetter,
+};
+
+/** One tracked metric of the BENCH_perf.json document. */
+struct PerfMetricSpec
+{
+    /** Dotted path into the document ("kernel.fifo_64k.events_per_sec"). */
+    const char *path;
+    PerfDirection dir;
+    /** Gated metrics flip the exit code; others only report. */
+    bool gated;
+    /**
+     * Absolute slack added on top of the relative threshold, in the
+     * metric's own unit. Lets near-zero metrics (allocs/event)
+     * fluctuate without tripping a percentage test against ~0.
+     */
+    double absSlack;
+};
+
+/** The fixed metric table perf_trend evaluates. */
+const std::vector<PerfMetricSpec> &perfMetricSpecs();
+
+/** Comparison outcome for one tracked metric. */
+struct PerfDelta
+{
+    std::string path;
+    double baseline = 0.0;
+    double current = 0.0;
+    /** Signed fractional change, positive = improvement. */
+    double changeFrac = 0.0;
+    bool gated = false;
+    bool regressed = false;
+    /** Metric absent from one of the documents (reported, not gated). */
+    bool missing = false;
+};
+
+/** Result of one baseline/current comparison. */
+struct PerfTrendResult
+{
+    std::vector<PerfDelta> deltas;
+    /** True when any gated metric regressed beyond the threshold. */
+    bool regressed = false;
+    /** Non-empty on parse/schema failure (deltas are then empty). */
+    std::string error;
+};
+
+/**
+ * Compare two BENCH_perf.json documents (full JSON text, not paths).
+ *
+ * @param threshold Relative noise threshold: a gated higher-is-
+ *        better metric regresses when current < baseline * (1 -
+ *        threshold) (symmetrically for lower-is-better), beyond the
+ *        metric's absolute slack.
+ */
+PerfTrendResult comparePerf(const std::string &baseline_json,
+                            const std::string &current_json,
+                            double threshold);
+
+/** Human-readable comparison table (one row per tracked metric). */
+std::string perfTrendTable(const PerfTrendResult &r);
+
+} // namespace umany
+
+#endif // UMANY_DRIVER_PERF_TREND_HH

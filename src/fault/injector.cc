@@ -112,7 +112,8 @@ FaultInjector::arm(EventQueue &eq, ClusterSim &sim,
         }
     }
     for (const FaultEvent &e : plan.events) {
-        eq.schedule(e.at, [&sim, e]() { applyNow(sim, e); });
+        eq.schedule(e.at, EvTag{EvSrc::Fault},
+                    [&sim, e]() { applyNow(sim, e); });
     }
 }
 

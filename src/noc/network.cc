@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "fault/fault_state.hh"
+#include "obs/simprof.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
 #include "validate/invariants.hh"
@@ -49,6 +50,10 @@ Network::send(const Message &msg, DeliverFn on_deliver,
 {
     ++sent_;
     UMANY_INVARIANT(InvariantChecker::active()->onNetSend());
+    if (SimProfiler *sp = eventq().profiler()) {
+        sp->noteNocSend(partitionOf(msg.src), partitionOf(msg.dst),
+                        msg.bytes);
+    }
     auto flight = std::make_shared<Flight>();
     flight->msg = msg;
     flight->start = curTick();
@@ -65,7 +70,10 @@ Network::send(const Message &msg, DeliverFn on_deliver,
                 curTick(), tracePid_, traceIcnTrack, "icn.drop",
                 (static_cast<std::uint64_t>(msg.src) << 32) | msg.dst,
                 static_cast<double>(msg.bytes)));
-            eventq().scheduleAfter(0, std::move(on_drop));
+            scheduleAfter(0,
+                          EvTag{EvSrc::NocDeliver,
+                                partitionOf(msg.dst)},
+                          std::move(on_drop));
         } else {
             degrade(std::move(flight));
         }
@@ -79,11 +87,17 @@ Network::send(const Message &msg, DeliverFn on_deliver,
                   msg.src, msg.dst);
         ++delivered_;
         UMANY_INVARIANT(InvariantChecker::active()->onNetDeliver());
+        if (SimProfiler *sp = eventq().profiler()) {
+            sp->noteNocDeliver(partitionOf(msg.src),
+                               partitionOf(msg.dst), msg.bytes);
+        }
         latency_.add(0);
         queueDelay_.add(0);
         traceDelivery(*flight);
         auto deliver = std::move(flight->deliver);
-        eventq().scheduleAfter(0, std::move(deliver));
+        scheduleAfter(0,
+                      EvTag{EvSrc::NocDeliver, partitionOf(msg.dst)},
+                      std::move(deliver));
         return;
     }
     hop(std::move(flight));
@@ -130,7 +144,9 @@ Network::hop(std::shared_ptr<Flight> flight)
     // Shared (not released raw): std::function requires a copyable
     // capture, and shared ownership means flights pending in a
     // destroyed event queue are freed rather than leaked.
-    eventq().schedule(arrival, [this, f = std::move(flight)]() {
+    const EvTag tag{last_hop ? EvSrc::NocDeliver : EvSrc::NocHop,
+                    partitionOf(flight->msg.dst)};
+    eventq().schedule(arrival, tag, [this, f = std::move(flight)]() {
         if (f->hop >= f->path.size()) {
             if (faults_ != nullptr &&
                 faults_->corruptProb() > 0.0 &&
@@ -180,7 +196,9 @@ Network::degrade(std::shared_ptr<Flight> flight)
         (static_cast<std::uint64_t>(flight->msg.src) << 32) |
             flight->msg.dst,
         static_cast<double>(flight->msg.bytes)));
-    eventq().scheduleAfter(degradedPenalty,
+    const EvTag tag{EvSrc::NocDeliver,
+                    partitionOf(flight->msg.dst)};
+    eventq().scheduleAfter(degradedPenalty, tag,
                            [this, f = std::move(flight)]() {
                                finishDelivery(*f);
                            });
@@ -197,6 +215,13 @@ Network::finishDelivery(const Flight &flight)
         ++delivered_;
         latency_.add(curTick() - flight.start);
         queueDelay_.add(flight.queued);
+        // Matrix deliveries mirror delivered_ (same-window only) so
+        // its row/column sums reconcile with the net.* stats.
+        if (SimProfiler *sp = eventq().profiler()) {
+            sp->noteNocDeliver(partitionOf(flight.msg.src),
+                               partitionOf(flight.msg.dst),
+                               flight.msg.bytes);
+        }
     }
     UMANY_ATTRIB({
         lastDelivery_.queued = flight.queued;

@@ -87,6 +87,27 @@ class Network : public SimObject
         return topo_.contentionFreeLatency(src, dst, bytes);
     }
 
+    /**
+     * Install the endpoint -> partition (ICN cluster) map used by
+     * the self-profiler's traffic matrix and event tags. Consulted
+     * only while a profiler is attached to the event queue.
+     */
+    void
+    setEndpointPartitions(std::vector<std::uint16_t> parts)
+    {
+        partOf_ = std::move(parts);
+    }
+    const std::vector<std::uint16_t> &endpointPartitions() const
+    {
+        return partOf_;
+    }
+    /** Partition of @p ep; evPartNone when no map is installed. */
+    std::uint16_t
+    partitionOf(EndpointId ep) const
+    {
+        return ep < partOf_.size() ? partOf_[ep] : evPartNone;
+    }
+
     const Topology &topology() const { return topo_; }
 
     /** @name Statistics @{ */
@@ -142,6 +163,7 @@ class Network : public SimObject
     const FaultState *faults_ = nullptr;
 
     std::vector<LinkState> state_;
+    std::vector<std::uint16_t> partOf_;  //!< Endpoint -> cluster.
     std::uint64_t sent_ = 0;
     std::uint64_t delivered_ = 0;
     std::uint64_t droppedNoPath_ = 0;

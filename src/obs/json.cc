@@ -94,12 +94,17 @@ JsonWriter::value(double v)
         out_ += "null";
         return *this;
     }
-    // %.17g round-trips doubles; trim to a plain integer when exact.
-    if (v == std::floor(v) && std::fabs(v) < 1e15) {
-        out_ += strprintf("%.0f", v);
-    } else {
-        out_ += strprintf("%.17g", v);
-    }
+    // %.17g round-trips doubles; trim to a plain integer when
+    // exact. snprintf into a stack buffer, not strprintf: numeric
+    // values dominate large artifacts (timelines, matrices) and a
+    // heap-allocated temporary per number is measurable there.
+    char buf[32];
+    int n;
+    if (v == std::floor(v) && std::fabs(v) < 1e15)
+        n = std::snprintf(buf, sizeof(buf), "%.0f", v);
+    else
+        n = std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_.append(buf, static_cast<std::size_t>(n));
     return *this;
 }
 
@@ -107,7 +112,10 @@ JsonWriter &
 JsonWriter::value(std::uint64_t v)
 {
     separator();
-    out_ += strprintf("%llu", static_cast<unsigned long long>(v));
+    char buf[24];
+    const int n = std::snprintf(buf, sizeof(buf), "%llu",
+                                static_cast<unsigned long long>(v));
+    out_.append(buf, static_cast<std::size_t>(n));
     return *this;
 }
 
@@ -115,7 +123,10 @@ JsonWriter &
 JsonWriter::value(std::int64_t v)
 {
     separator();
-    out_ += strprintf("%lld", static_cast<long long>(v));
+    char buf[24];
+    const int n = std::snprintf(buf, sizeof(buf), "%lld",
+                                static_cast<long long>(v));
+    out_.append(buf, static_cast<std::size_t>(n));
     return *this;
 }
 

@@ -33,7 +33,7 @@ Sampler::scheduleNext()
     if (now >= until_)
         return;
     eq_.schedule(std::min(now + interval_, until_),
-                 [this]() { tick(); });
+                 EvTag{EvSrc::Sampler}, [this]() { tick(); });
 }
 
 void

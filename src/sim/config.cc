@@ -14,10 +14,18 @@ Config::parseArgs(int argc, char **argv)
         std::string arg = argv[i];
         // GNU-style flags are accepted as sugar: "--trace-out=x" is
         // the same key as "trace_out=x".
-        if (arg.rfind("--", 0) == 0)
+        const bool flag = arg.rfind("--", 0) == 0;
+        if (flag)
             arg = arg.substr(2);
         const auto eq = arg.find('=');
         if (eq == std::string::npos || eq == 0) {
+            // A bare "--flag" is boolean sugar for "flag=true"
+            // ("--run-summary" == "--run-summary=true"); bare words
+            // without dashes stay errors to catch typos.
+            if (flag && eq == std::string::npos && !arg.empty()) {
+                set(arg, "true");
+                continue;
+            }
             fatal("bad argument '%s': expected key=value", arg.c_str());
         }
         set(arg.substr(0, eq), arg.substr(eq + 1));

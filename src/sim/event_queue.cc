@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include "obs/simprof.hh"
 #include "sim/logging.hh"
 
 namespace umany
@@ -21,13 +22,15 @@ EventQueue::reserve(std::size_t events)
 }
 
 void
-EventQueue::schedule(Tick when, Callback cb)
+EventQueue::schedule(Tick when, EvTag tag, Callback cb)
 {
     if (when < _now) {
         panic("event scheduled in the past: when=%llu now=%llu",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(_now));
     }
+    if (prof_ != nullptr)
+        prof_->onSchedule(tag, when - _now);
     std::uint32_t slot;
     if (!free_.empty()) {
         slot = free_.back();
@@ -37,7 +40,8 @@ EventQueue::schedule(Tick when, Callback cb)
         slot = static_cast<std::uint32_t>(slab_.size());
         slab_.push_back(std::move(cb));
     }
-    heap_.push_back(Node{when, nextSeq_++, slot});
+    heap_.push_back(Node{when, nextSeq_++, slot, tag.src, 0,
+                         tag.part});
     siftUp(heap_.size() - 1);
 }
 
@@ -104,6 +108,10 @@ EventQueue::step()
     _now = top.when;
     ++dispatched_;
     cb();
+    if (prof_ != nullptr) {
+        prof_->onExecuted(EvTag{top.src, top.part}, heap_.size(),
+                          _now);
+    }
     return true;
 }
 
@@ -125,6 +133,22 @@ EventQueue::runUntil(Tick limit)
         step();
     }
     return true;
+}
+
+EventQueue::RunResult
+EventQueue::runUntil(Tick limit, std::uint64_t max_events)
+{
+    while (!heap_.empty()) {
+        if (heap_.front().when > limit) {
+            _now = limit;
+            return RunResult::Limited;
+        }
+        if (max_events == 0)
+            return RunResult::Budget;
+        --max_events;
+        step();
+    }
+    return RunResult::Drained;
 }
 
 void

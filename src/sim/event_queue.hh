@@ -22,11 +22,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/ev_source.hh"
 #include "sim/inline_function.hh"
 #include "sim/types.hh"
 
 namespace umany
 {
+
+class SimProfiler;
 
 /**
  * The event queue at the heart of the simulator.
@@ -50,15 +53,31 @@ class EventQueue
      * Schedule a callback at an absolute tick.
      *
      * @param when Absolute tick; must be >= now().
+     * @param tag Event-source tag (taxonomy + partition) carried in
+     *        the heap node; free when no profiler is attached.
      * @param cb Callback to invoke.
      */
-    void schedule(Tick when, Callback cb);
+    void schedule(Tick when, EvTag tag, Callback cb);
+
+    /** Untagged schedule: the event is attributed to EvSrc::Other. */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        schedule(when, EvTag{}, std::move(cb));
+    }
+
+    /** Schedule a tagged callback @p delta ticks in the future. */
+    void
+    scheduleAfter(Tick delta, EvTag tag, Callback cb)
+    {
+        schedule(_now + delta, tag, std::move(cb));
+    }
 
     /** Schedule a callback @p delta ticks in the future. */
     void
     scheduleAfter(Tick delta, Callback cb)
     {
-        schedule(_now + delta, std::move(cb));
+        schedule(_now + delta, EvTag{}, std::move(cb));
     }
 
     /** True when no events remain. */
@@ -82,6 +101,31 @@ class EventQueue
      */
     bool runUntil(Tick limit);
 
+    /** Outcome of a budgeted runUntil(). */
+    enum class RunResult : std::uint8_t
+    {
+        Drained,  //!< No events remain.
+        Limited,  //!< Simulated time reached @p limit.
+        Budget,   //!< The event budget ran out first.
+    };
+
+    /**
+     * runUntil() with an event budget: dispatch at most
+     * @p max_events events. Lets a driver interleave host-side work
+     * (progress heartbeats) with the run without per-event cost.
+     * Unlike the Limited case, Budget leaves now() at the last
+     * dispatched event's tick.
+     */
+    RunResult runUntil(Tick limit, std::uint64_t max_events);
+
+    /**
+     * Attach a self-profiler (null detaches). While attached, every
+     * schedule/dispatch is accounted to the event's source tag; when
+     * detached the kernel pays one branch per operation.
+     */
+    void setProfiler(SimProfiler *prof) { prof_ = prof; }
+    SimProfiler *profiler() const { return prof_; }
+
     /** Dispatch a single event. @return false if queue was empty. */
     bool step();
 
@@ -101,13 +145,20 @@ class EventQueue
     /**
      * Heap node: the full sort key plus the slab slot of the
      * callback. Comparisons and sifts never dereference the slab.
+     * The event-source tag rides in what used to be struct padding,
+     * so the node stays 24 bytes.
      */
     struct Node
     {
         Tick when;
         std::uint64_t seq;
         std::uint32_t slot;
+        EvSrc src;
+        std::uint8_t pad_;
+        std::uint16_t part;
     };
+    static_assert(sizeof(Node) == 24,
+                  "event tags must fit in the node's padding");
 
     static bool
     before(const Node &a, const Node &b)
@@ -132,6 +183,7 @@ class EventQueue
     Tick _now = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t dispatched_ = 0;
+    SimProfiler *prof_ = nullptr;
 };
 
 } // namespace umany

@@ -47,6 +47,13 @@ class SimObject
         eq_.scheduleAfter(delta, std::move(cb));
     }
 
+    /** Tagged variant: attribute the event to @p tag. */
+    void
+    scheduleAfter(Tick delta, EvTag tag, EventQueue::Callback cb)
+    {
+        eq_.scheduleAfter(delta, tag, std::move(cb));
+    }
+
   private:
     std::string name_;
     EventQueue &eq_;

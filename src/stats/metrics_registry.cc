@@ -19,10 +19,15 @@ namespace
 std::string
 formatValue(double v)
 {
-    if (std::isfinite(v) && v == std::floor(v) &&
-        std::fabs(v) < 1e15) {
+    // Non-finite values get the OpenMetrics canonical spellings --
+    // "%g" would print platform-dependent "nan"/"inf" forms that
+    // parsers reject.
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0.0 ? "+Inf" : "-Inf";
+    if (v == std::floor(v) && std::fabs(v) < 1e15)
         return strprintf("%lld", static_cast<long long>(v));
-    }
     return strprintf("%.9g", v);
 }
 

@@ -79,13 +79,14 @@ runValidationSim(const ValidationConfig &cfg)
     Tick busyAtWarmup = 0;
     Tick busyAtStop = 0;
     ValidationResult r;
-    eq.schedule(cfg.warmup, [&]() {
+    eq.schedule(cfg.warmup, EvTag{EvSrc::Kernel}, [&]() {
         busyAtWarmup = totalBusy();
         if (cfg.clearNetStatsAtWarmup)
             sim.machine(0).network().clearStats();
         sim.setRecording(true);
     });
-    eq.schedule(cfg.warmup + cfg.measure, [&]() {
+    eq.schedule(cfg.warmup + cfg.measure, EvTag{EvSrc::Kernel},
+                [&]() {
         busyAtStop = totalBusy();
         // Sampled here, not after the drain, so the utilization
         // window is exactly [warmup, warmup + measure).

@@ -26,6 +26,15 @@ TEST(Config, ParsesKeyValueArgs)
     EXPECT_DOUBLE_EQ(c.getDouble("ratio"), 2.5);
 }
 
+TEST(Config, BareDashedFlagIsBooleanSugar)
+{
+    Config c;
+    const char *argv[] = {"prog", "--run-summary", "--progress=2.5"};
+    c.parseArgs(3, const_cast<char **>(argv));
+    EXPECT_TRUE(c.getBool("run_summary"));
+    EXPECT_DOUBLE_EQ(c.getDouble("progress"), 2.5);
+}
+
 TEST(Config, DefaultsForMissingKeys)
 {
     Config c;
