@@ -99,6 +99,19 @@ struct BenchArgs
      * Report output is identical for every N; see EXPERIMENTS.md.
      */
     unsigned jobs = 0;
+    /**
+     * Parallel-DES worker threads inside ONE simulation:
+     *   --shards=N           1 = serial kernel (byte-identical to
+     *                        every golden); N > 1 shards the run by
+     *                        ICN cluster (results identical for any
+     *                        N, not tick-identical to serial)
+     *   --shard-window-us=W  sync-window override (0 = auto: the
+     *                        min cross-cluster ICN latency)
+     * --jobs parallelizes across sweep points, --shards within one
+     * run; see EXPERIMENTS.md for when to use which.
+     */
+    std::uint32_t shards = 1;
+    Tick shardWindow = 0;
 
     void
     parse(int argc, char **argv)
@@ -112,6 +125,15 @@ struct BenchArgs
             cfg.getInt("seed", static_cast<std::int64_t>(seed)));
         obs = obsFromConfig(cfg);
         jobs = SweepRunner::clampJobs(cfg.getInt("jobs", 0));
+        const std::int64_t sh = cfg.getInt("shards", 1);
+        if (sh < 1)
+            fatal("shards must be >= 1 (got %lld)",
+                  static_cast<long long>(sh));
+        shards = static_cast<std::uint32_t>(sh);
+        const double wus = cfg.getDouble("shard_window_us", 0.0);
+        if (wus < 0.0)
+            fatal("shard_window_us must be >= 0 (got %g)", wus);
+        shardWindow = fromUs(wus);
     }
 };
 
@@ -165,6 +187,8 @@ evalConfig(const MachineParams &machine, double rps_per_server,
     cfg.measure = args.measure;
     cfg.seed = args.seed;
     cfg.obs = args.obs;
+    cfg.shards = args.shards;
+    cfg.shardWindow = args.shardWindow;
     return cfg;
 }
 

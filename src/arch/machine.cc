@@ -10,6 +10,7 @@
 #include "obs/attrib.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
+#include "sim/shard.hh"
 #include "validate/invariants.hh"
 
 namespace umany
@@ -125,6 +126,7 @@ Machine::buildTopology()
         if (e < static_cast<std::size_t>(num_clusters) * epl)
             parts[e] = static_cast<std::uint16_t>(e / epl);
     }
+    extPart_ = static_cast<std::uint16_t>(num_clusters);
     net_->setEndpointPartitions(std::move(parts));
 }
 
@@ -275,6 +277,77 @@ Machine::installInstance(ServiceId service, VillageId village)
 }
 
 void
+Machine::enableSharding(std::uint32_t lanes)
+{
+    sharded_ = true;
+    laneSeq_.assign(lanes, 1);
+    laneCompleted_.assign(lanes, 0);
+    laneRejected_.assign(lanes, 0);
+    laneShed_.assign(lanes, 0);
+    laneRng_.clear();
+    laneRng_.reserve(lanes);
+    const std::uint64_t base = streamSeed(
+        streamSeed(seed_, rngstream::coherence), rngstream::lane);
+    for (std::uint32_t l = 0; l < lanes; ++l)
+        laneRng_.emplace_back(streamSeed(base, l));
+    serviceMap_.enableSharding(lanes);
+    std::vector<std::uint16_t> owners;
+    topo_->linkOwners(net_->endpointPartitions(), extPart_, owners);
+    net_->enableSharding(lanes, std::move(owners));
+}
+
+std::uint32_t
+Machine::curLane() const
+{
+    return ShardRuntime::currentLaneOr(
+        static_cast<std::uint32_t>(laneSeq_.size()));
+}
+
+std::uint64_t
+Machine::nextSeqFor()
+{
+    if (!sharded_)
+        return nextSeq_++;
+    const std::uint32_t l = curLane();
+    return (static_cast<std::uint64_t>(l + 1) << 40) |
+           laneSeq_[l]++;
+}
+
+VillageId
+Machine::pickInstance(ServiceId service)
+{
+    return sharded_ ? serviceMap_.pickLane(service, curLane())
+                    : serviceMap_.pick(service);
+}
+
+std::uint64_t
+Machine::completedRequests() const
+{
+    std::uint64_t total = completed_;
+    for (const std::uint64_t n : laneCompleted_)
+        total += n;
+    return total;
+}
+
+std::uint64_t
+Machine::rejectedRequests() const
+{
+    std::uint64_t total = rejected_;
+    for (const std::uint64_t n : laneRejected_)
+        total += n;
+    return total;
+}
+
+std::uint64_t
+Machine::shedRequests() const
+{
+    std::uint64_t total = shedNoPath_;
+    for (const std::uint64_t n : laneShed_)
+        total += n;
+    return total;
+}
+
+void
 Machine::sendIcn(EndpointId src, EndpointId dst, std::uint32_t bytes,
                  MsgClass cls, Network::DeliverFn fn,
                  Network::DropFn drop)
@@ -352,7 +425,7 @@ Machine::externalArrival(ServiceRequest *req)
             return;
         }
     } else {
-        v = serviceMap_.pick(req->service());
+        v = pickInstance(req->service());
     }
     eventq().schedule(t, evTagV(EvSrc::RpcNic, v),
                       [this, req, v, ext]() {
@@ -376,7 +449,7 @@ Machine::localCall(ServiceRequest *child, VillageId from_village)
             return;
         }
     } else {
-        v = serviceMap_.pick(child->service());
+        v = pickInstance(child->service());
     }
     sendIcn(villageEndpoint(from_village), villageEndpoint(v),
             child->reqBytes, MsgClass::Request,
@@ -386,8 +459,14 @@ Machine::localCall(ServiceRequest *child, VillageId from_village)
 void
 Machine::shedRequest(ServiceRequest *req, Tick ready_at)
 {
-    ++rejected_;
-    ++shedNoPath_;
+    if (sharded_) {
+        const std::uint32_t l = curLane();
+        ++laneRejected_[l];
+        ++laneShed_[l];
+    } else {
+        ++rejected_;
+        ++shedNoPath_;
+    }
     req->rejected = true;
     req->state = ReqState::Rejected;
     req->finishedAt = curTick();
@@ -403,20 +482,21 @@ Machine::shedRequest(ServiceRequest *req, Tick ready_at)
         const Tick t = ready_at + topNic_->extLatency();
         UMANY_ATTRIB(AttribRegistry::active()->charge(
             *req, AttribComp::NicDispatch, t));
-        eventq().schedule(t, EvTag{EvSrc::RpcNic},
+        eventq().schedule(t, evTagExt(EvSrc::RpcNic),
                           [this, req]() { onRootComplete(req); });
     } else if (req->parent->server == self_) {
         ServiceRequest *parent = req->parent;
         UMANY_ATTRIB(AttribRegistry::active()->charge(
             *req, AttribComp::NicDispatch, ready_at));
-        eventq().schedule(ready_at, EvTag{EvSrc::RpcNic},
+        eventq().schedule(ready_at,
+                          evTagV(EvSrc::RpcNic, parent->village),
                           [this, parent, req]() {
             deliverChildResponse(parent, req);
         });
     } else {
         UMANY_ATTRIB(AttribRegistry::active()->charge(
             *req, AttribComp::NicDispatch, ready_at));
-        eventq().schedule(ready_at, EvTag{EvSrc::RpcNic},
+        eventq().schedule(ready_at, evTagExt(EvSrc::RpcNic),
                           [this, req]() {
             onRemoteChildFinished(req);
         });
@@ -437,7 +517,7 @@ Machine::villageIngress(ServiceRequest *req, VillageId v)
     });
     req->pendingOverhead += vil.nic->rxCoreCycles();
     if (req->seq == 0)
-        req->seq = nextSeq_++;
+        req->seq = nextSeqFor();
     Tick t = curTick() + vil.nic->rxLatency();
     // Software machines route every arriving request through the
     // centralized dispatcher before it can be queued (§4.4).
@@ -477,7 +557,7 @@ Machine::enqueueFresh(ServiceRequest *req)
                                 : queueOfVillage(v);
     req->queueId = q;
     const Tick done = swq_->enqueue(q, req->seq, req, curTick());
-    eventq().schedule(done, EvTag{EvSrc::SchedDispatch},
+    eventq().schedule(done, evTagV(EvSrc::SchedDispatch, v),
                       [this, q]() { tryWakeQueue(q); });
 }
 
@@ -501,7 +581,7 @@ Machine::reEnqueue(ServiceRequest *req)
     }
     const std::uint32_t q = req->queueId;
     const Tick done = swq_->enqueue(q, req->seq, req, curTick());
-    eventq().schedule(done, EvTag{EvSrc::SchedDispatch},
+    eventq().schedule(done, evTagV(EvSrc::SchedDispatch, v),
                       [this, q]() { tryWakeQueue(q); });
 }
 
@@ -650,8 +730,9 @@ Machine::runSegment(CoreId core, ServiceRequest *req)
         if (bytes >= 64) {
             EndpointId dst;
             if (coherence_.scope() == CoherenceScope::Global) {
+                Rng &r = sharded_ ? laneRng_[curLane()] : rng_;
                 VillageId dv = static_cast<VillageId>(
-                    rng_.below(villages_.size()));
+                    r.below(villages_.size()));
                 dst = villageEndpoint(dv);
             } else {
                 const Cluster &cl =
@@ -757,7 +838,7 @@ Machine::issueCallGroup(ServiceRequest *req, VillageId v)
                                                  step.requestBytes);
                         t += rnic_->sendPenalty();
                         t += topNic_->extLatency();
-                        eventq().schedule(t, EvTag{EvSrc::RpcNic},
+                        eventq().schedule(t, evTagExt(EvSrc::RpcNic),
                                           [this, req, step]() {
                             onStorageCall(req, step);
                         });
@@ -776,7 +857,10 @@ Machine::finishRequest(ServiceRequest *req, VillageId v)
     req->state = ReqState::Finished;
     req->finishedAt = curTick();
     UMANY_INVARIANT(InvariantChecker::active()->onComplete(*req));
-    ++completed_;
+    if (sharded_)
+        ++laneCompleted_[curLane()];
+    else
+        ++completed_;
     villages_[v].nic->countTx();
 
     if (p_.sched == MachineParams::Sched::HwRq) {
@@ -804,7 +888,7 @@ Machine::finishRequest(ServiceRequest *req, VillageId v)
                     t += rnic_->sendPenalty() + topNic_->extLatency();
                     UMANY_ATTRIB(AttribRegistry::active()->charge(
                         *req, AttribComp::NicDispatch, t));
-                    eventq().schedule(t, EvTag{EvSrc::RpcNic},
+                    eventq().schedule(t, evTagExt(EvSrc::RpcNic),
                                       [this, req]() {
                         onRootComplete(req);
                     });
@@ -828,7 +912,7 @@ Machine::finishRequest(ServiceRequest *req, VillageId v)
                     t += rnic_->sendPenalty();
                     UMANY_ATTRIB(AttribRegistry::active()->charge(
                         *req, AttribComp::NicDispatch, t));
-                    eventq().schedule(t, EvTag{EvSrc::RpcNic},
+                    eventq().schedule(t, evTagExt(EvSrc::RpcNic),
                                       [this, req]() {
                         onRemoteChildFinished(req);
                     });
@@ -868,7 +952,7 @@ Machine::externalResponse(ServiceRequest *parent, std::uint32_t bytes)
 {
     const Tick t0 = topNic_->ingress(curTick(), bytes);
     rnic_->onAck();
-    eventq().schedule(t0, EvTag{EvSrc::RpcNic},
+    eventq().schedule(t0, evTagV(EvSrc::RpcNic, parent->village),
                       [this, parent, bytes]() {
         sendIcn(topo_->externalEndpoint(),
                 villageEndpoint(parent->village), bytes,
@@ -899,17 +983,24 @@ void
 Machine::outboundRequest(ServiceRequest *req, VillageId from,
                          std::function<void()> on_exit)
 {
-    rnic_->onSend();
+    // The R-NIC counters belong to the shared (external) lane; when
+    // sharded, bump them at package egress — the delivery callback
+    // below runs in that lane — not here in the village's lane.
+    if (!sharded_)
+        rnic_->onSend();
     sendIcn(villageEndpoint(from), topo_->externalEndpoint(),
             req->reqBytes, MsgClass::Request,
             [this, req, on_exit = std::move(on_exit)]() {
+                if (sharded_)
+                    rnic_->onSend();
                 UMANY_ATTRIB(AttribRegistry::active()->chargeIcn(
                     *req, net_->lastDelivery(), curTick()));
                 Tick t = topNic_->egress(curTick(), req->reqBytes);
                 t += rnic_->sendPenalty();
                 UMANY_ATTRIB(AttribRegistry::active()->charge(
                     *req, AttribComp::NicDispatch, t));
-                eventq().schedule(t, EvTag{EvSrc::RpcNic}, on_exit);
+                eventq().schedule(t, evTagExt(EvSrc::RpcNic),
+                                  on_exit);
             });
 }
 
@@ -926,7 +1017,8 @@ Machine::responseProcessed(ServiceRequest *parent)
     if (p_.cs.scheme != CsScheme::HardwareRq) {
         const Tick t = dispatcher_->process(
             curTick(), p_.dispatcher.opCycles + p_.cs.restoreCycles);
-        eventq().schedule(t, EvTag{EvSrc::CtxSwitch},
+        eventq().schedule(t,
+                          evTagV(EvSrc::CtxSwitch, parent->village),
                           [this, parent]() { reEnqueue(parent); });
         return;
     }
@@ -936,7 +1028,10 @@ Machine::responseProcessed(ServiceRequest *parent)
 void
 Machine::rejectRequest(ServiceRequest *req)
 {
-    ++rejected_;
+    if (sharded_)
+        ++laneRejected_[curLane()];
+    else
+        ++rejected_;
     req->rejected = true;
     UMANY_TRACE(traceReqTransition(curTick(), *req,
                                    ReqState::Rejected));
@@ -957,7 +1052,7 @@ Machine::rejectRequest(ServiceRequest *req)
                         topNic_->extLatency();
                     UMANY_ATTRIB(AttribRegistry::active()->charge(
                         *req, AttribComp::NicDispatch, t));
-                    eventq().schedule(t, EvTag{EvSrc::RpcNic},
+                    eventq().schedule(t, evTagExt(EvSrc::RpcNic),
                                       [this, req]() {
                         onRootComplete(req);
                     });
@@ -976,7 +1071,7 @@ Machine::rejectRequest(ServiceRequest *req)
                     const Tick t = topNic_->egress(curTick(), 128);
                     UMANY_ATTRIB(AttribRegistry::active()->charge(
                         *req, AttribComp::NicDispatch, t));
-                    eventq().schedule(t, EvTag{EvSrc::RpcNic},
+                    eventq().schedule(t, evTagExt(EvSrc::RpcNic),
                                       [this, req]() {
                         onRemoteChildFinished(req);
                     });

@@ -99,6 +99,23 @@ struct ExperimentConfig
     /** Hard cap on post-load drain (bounds saturated runs). */
     Tick drainLimit = fromSec(3.0);
     std::uint64_t seed = 0xfeedbeefull;
+    /**
+     * Parallel-DES worker threads (sim/shard.hh). 1 = the serial
+     * kernel, byte-identical to every pre-sharding golden. N > 1
+     * runs the partition-determinized parallel mode: results are
+     * identical for any N but not tick-identical to the serial
+     * kernel (cross-cluster events defer to window horizons). Falls
+     * back to 1 with a warning when the configuration needs
+     * machinery the parallel mode cannot host (software scheduling,
+     * faults, tracing, attribution, sampling, invariants).
+     */
+    std::uint32_t shards = 1;
+    /**
+     * Sync-window width in ticks for shards > 1. 0 = auto: the
+     * minimum cross-cluster ICN latency (the profiler's
+     * conservative-DES lookahead bound).
+     */
+    Tick shardWindow = 0;
     /** Optional per-endpoint QoS thresholds (§6.5). */
     std::map<ServiceId, Tick> qosThresholds;
     /** Scheduled fault events (empty = fully healthy run). */

@@ -138,6 +138,17 @@ class SimProfiler
     void finalize();
 
     /**
+     * Fold another (finalized) profiler's counters, histograms,
+     * traffic matrices, and timeline into this one. Used by the
+     * parallel-DES runtime: each lane records into its own profiler
+     * (no atomics on the hot path) and the driver merges them after
+     * detach. Timelines are delta-merged on simulated time and
+     * re-accumulated, so the merged events-vs-time series is a
+     * cluster-wide aggregate rather than one lane's view.
+     */
+    void mergeFrom(const SimProfiler &other);
+
+    /**
      * Partitionability context, set by the driver before emitting
      * the report: the machines' ICN cluster count and the minimum
      * cross-cluster latency (conservative-DES lookahead bound).

@@ -30,12 +30,20 @@ namespace umany
 {
 
 class SimProfiler;
+class ShardRuntime;
 
 /**
  * The event queue at the heart of the simulator.
  *
  * Events are arbitrary callables. Ties at the same tick are broken
  * by insertion order so behaviour is reproducible.
+ *
+ * A ShardRuntime (sim/shard.hh) may attach to split the queue into
+ * per-cluster lanes run on worker threads; while attached, every
+ * public operation routes through the runtime so components holding
+ * an EventQueue reference never see the difference. Detached (the
+ * default, and the only mode `--shards=1` uses) each operation pays
+ * one null-check branch.
  */
 class EventQueue
 {
@@ -46,8 +54,12 @@ class EventQueue
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
-    /** Current simulated time. */
-    Tick now() const { return _now; }
+    /** Current simulated time (the executing lane's when sharded). */
+    Tick
+    now() const
+    {
+        return runtime_ == nullptr ? _now : shardNow();
+    }
 
     /**
      * Schedule a callback at an absolute tick.
@@ -70,24 +82,37 @@ class EventQueue
     void
     scheduleAfter(Tick delta, EvTag tag, Callback cb)
     {
-        schedule(_now + delta, tag, std::move(cb));
+        schedule(now() + delta, tag, std::move(cb));
     }
 
     /** Schedule a callback @p delta ticks in the future. */
     void
     scheduleAfter(Tick delta, Callback cb)
     {
-        schedule(_now + delta, EvTag{}, std::move(cb));
+        schedule(now() + delta, EvTag{}, std::move(cb));
     }
 
     /** True when no events remain. */
-    bool empty() const { return heap_.empty(); }
+    bool
+    empty() const
+    {
+        return runtime_ == nullptr ? heap_.empty() : shardSize() == 0;
+    }
 
-    /** Number of pending events. */
-    std::size_t size() const { return heap_.size(); }
+    /** Number of pending events (summed over lanes when sharded). */
+    std::size_t
+    size() const
+    {
+        return runtime_ == nullptr ? heap_.size() : shardSize();
+    }
 
-    /** Total number of events dispatched so far. */
-    std::uint64_t dispatched() const { return dispatched_; }
+    /** Total events dispatched (summed over lanes when sharded). */
+    std::uint64_t
+    dispatched() const
+    {
+        return runtime_ == nullptr ? dispatched_
+                                   : dispatched_ + shardDispatched();
+    }
 
     /** Run until the queue drains. */
     void run();
@@ -124,7 +149,14 @@ class EventQueue
      * detached the kernel pays one branch per operation.
      */
     void setProfiler(SimProfiler *prof) { prof_ = prof; }
-    SimProfiler *profiler() const { return prof_; }
+    SimProfiler *
+    profiler() const
+    {
+        return runtime_ == nullptr ? prof_ : shardProfiler();
+    }
+
+    /** The attached ShardRuntime, or null in serial mode. */
+    ShardRuntime *shards() const { return runtime_; }
 
     /** Dispatch a single event. @return false if queue was empty. */
     bool step();
@@ -142,6 +174,15 @@ class EventQueue
     std::size_t capacity() const { return slab_.capacity(); }
 
   private:
+    friend class ShardRuntime;
+
+    /** @name Sharded-mode forwarding (out of line: cold) @{ */
+    Tick shardNow() const;
+    std::size_t shardSize() const;
+    std::uint64_t shardDispatched() const;
+    SimProfiler *shardProfiler() const;
+    /** @} */
+
     /**
      * Heap node: the full sort key plus the slab slot of the
      * callback. Comparisons and sifts never dereference the slab.
@@ -184,6 +225,7 @@ class EventQueue
     std::uint64_t nextSeq_ = 0;
     std::uint64_t dispatched_ = 0;
     SimProfiler *prof_ = nullptr;
+    ShardRuntime *runtime_ = nullptr;
 };
 
 } // namespace umany

@@ -1,0 +1,311 @@
+#include "sim/shard.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+namespace
+{
+
+/** The lane a worker thread is currently executing, if any. */
+thread_local EventQueue *tlsLaneQueue = nullptr;
+thread_local std::uint32_t tlsLaneIdx = ShardRuntime::laneNone;
+
+} // namespace
+
+ShardRuntime::ShardRuntime(EventQueue &eq, const Params &p)
+    : eq_(eq), window_(std::max<Tick>(p.window, 1))
+{
+    const std::uint32_t lanes = std::max(p.clusters, 1u) + 1;
+    shards_ = std::max(std::min(p.shards, lanes), 1u);
+    lanes_.reserve(lanes);
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+        lanes_.push_back(std::make_unique<Lane>());
+        lanes_.back()->outbox.resize(lanes);
+    }
+}
+
+ShardRuntime::~ShardRuntime()
+{
+    if (attached_)
+        detach();
+}
+
+std::uint32_t
+ShardRuntime::currentLane()
+{
+    return tlsLaneIdx;
+}
+
+void
+ShardRuntime::setLaneProfiler(std::uint32_t lane, SimProfiler *prof)
+{
+    lanes_.at(lane)->q.setProfiler(prof);
+}
+
+std::uint64_t
+ShardRuntime::crossLaneEvents() const
+{
+    std::uint64_t n = 0;
+    for (const auto &lane : lanes_)
+        n += lane->crossLane;
+    return n;
+}
+
+void
+ShardRuntime::attach()
+{
+    if (attached_)
+        panic("ShardRuntime: already attached");
+    // Move the queue's pending events into the lanes in (tick, seq)
+    // order so FIFO ties among pre-attach events survive the split.
+    while (!eq_.heap_.empty()) {
+        const EventQueue::Node top = eq_.popTop();
+        EventQueue::Callback cb = std::move(eq_.slab_[top.slot]);
+        eq_.free_.push_back(top.slot);
+        lanes_[laneOf(top.part)]->q.schedule(
+            top.when, EvTag{top.src, top.part}, std::move(cb));
+    }
+    coordNow_ = eq_._now;
+    eq_.runtime_ = this;
+    attached_ = true;
+    stop_.store(false, std::memory_order_relaxed);
+    for (std::uint32_t s = 1; s < shards_; ++s)
+        workers_.emplace_back([this, s]() { workerLoop(s); });
+}
+
+void
+ShardRuntime::detach()
+{
+    if (!attached_)
+        return;
+    stop_.store(true, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+    workers_.clear();
+    eq_.runtime_ = nullptr;
+    attached_ = false;
+    // Fold simulated time and dispatch counts back, then return any
+    // still-pending events (drain-limit / budget stops) so the
+    // serial queue again owns the complete simulation state.
+    Tick now = coordNow_;
+    for (const auto &lane : lanes_) {
+        now = std::max(now, lane->q.now());
+        eq_.dispatched_ += lane->q.dispatched();
+    }
+    eq_._now = std::max(eq_._now, now);
+    for (const auto &lane : lanes_) {
+        EventQueue &q = lane->q;
+        while (!q.heap_.empty()) {
+            const EventQueue::Node top = q.popTop();
+            EventQueue::Callback cb = std::move(q.slab_[top.slot]);
+            q.free_.push_back(top.slot);
+            eq_.schedule(top.when, EvTag{top.src, top.part},
+                         std::move(cb));
+        }
+    }
+}
+
+void
+ShardRuntime::routeSchedule(Tick when, EvTag tag,
+                            EventQueue::Callback cb)
+{
+    const std::uint32_t dst = laneOf(tag.part);
+    Lane &target = *lanes_[dst];
+    if (tlsLaneQueue == nullptr) {
+        // Coordinator context (attach-time or between windows): the
+        // lanes are quiescent, insert directly.
+        target.q.schedule(when, tag, std::move(cb));
+        return;
+    }
+    Lane &cur = *lanes_[tlsLaneIdx];
+    if (&target == &cur) {
+        cur.q.schedule(when, tag, std::move(cb));
+        return;
+    }
+    cur.outbox[dst].push_back(Pending{when, tag, std::move(cb)});
+    ++cur.crossLane;
+}
+
+Tick
+ShardRuntime::currentNow() const
+{
+    return tlsLaneQueue != nullptr ? tlsLaneQueue->now() : coordNow_;
+}
+
+SimProfiler *
+ShardRuntime::currentProfiler() const
+{
+    return tlsLaneQueue != nullptr ? tlsLaneQueue->profiler()
+                                   : eq_.prof_;
+}
+
+std::size_t
+ShardRuntime::pendingEvents() const
+{
+    std::size_t n = 0;
+    for (const auto &lane : lanes_) {
+        n += lane->q.size();
+        for (const auto &box : lane->outbox)
+            n += box.size();
+    }
+    return n;
+}
+
+std::uint64_t
+ShardRuntime::laneDispatched() const
+{
+    std::uint64_t n = 0;
+    for (const auto &lane : lanes_)
+        n += lane->q.dispatched();
+    return n;
+}
+
+bool
+ShardRuntime::earliestPending(Tick &out) const
+{
+    bool any = false;
+    Tick t = std::numeric_limits<Tick>::max();
+    for (const auto &lane : lanes_) {
+        if (!lane->q.heap_.empty()) {
+            t = std::min(t, lane->q.heap_.front().when);
+            any = true;
+        }
+    }
+    out = t;
+    return any;
+}
+
+void
+ShardRuntime::runOwnedLanes(std::uint32_t shard)
+{
+    const auto lanes = static_cast<std::uint32_t>(lanes_.size());
+    const Tick horizon = horizon_;
+    for (std::uint32_t l = shard; l < lanes; l += shards_) {
+        tlsLaneQueue = &lanes_[l]->q;
+        tlsLaneIdx = l;
+        // Run strictly below the horizon: an event at exactly H is
+        // next window's work (the torn-window boundary).
+        lanes_[l]->q.runUntil(horizon - 1);
+        tlsLaneQueue = nullptr;
+        tlsLaneIdx = laneNone;
+    }
+}
+
+void
+ShardRuntime::workerLoop(std::uint32_t shard)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        epoch_.wait(seen, std::memory_order_acquire);
+        seen = epoch_.load(std::memory_order_acquire);
+        if (stop_.load(std::memory_order_relaxed))
+            return;
+        runOwnedLanes(shard);
+        arrived_.fetch_add(1, std::memory_order_release);
+        arrived_.notify_one();
+    }
+}
+
+void
+ShardRuntime::runWindow()
+{
+    arrived_.store(0, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    runOwnedLanes(0);
+    const std::uint32_t want = shards_ - 1;
+    std::uint32_t a = arrived_.load(std::memory_order_acquire);
+    while (a != want) {
+        arrived_.wait(a, std::memory_order_acquire);
+        a = arrived_.load(std::memory_order_acquire);
+    }
+}
+
+void
+ShardRuntime::drainMailboxes()
+{
+    // Fixed order — destination lane, then source lane, then FIFO —
+    // and single-threaded: the insertion sequence into each lane is
+    // independent of the shard count.
+    const auto lanes = static_cast<std::uint32_t>(lanes_.size());
+    for (std::uint32_t dst = 0; dst < lanes; ++dst) {
+        EventQueue &q = lanes_[dst]->q;
+        for (std::uint32_t src = 0; src < lanes; ++src) {
+            auto &box = lanes_[src]->outbox[dst];
+            for (Pending &p : box) {
+                Tick at = p.when;
+                if (at < horizon_) {
+                    // A cross-lane effect inside the window lands at
+                    // its horizon instead: the conservative bound
+                    // that keeps lanes causally independent.
+                    ++clamped_;
+                    maxClamp_ = std::max(maxClamp_, horizon_ - at);
+                    at = horizon_;
+                }
+                q.schedule(at, p.tag, std::move(p.cb));
+            }
+            box.clear();
+        }
+    }
+}
+
+EventQueue::RunResult
+ShardRuntime::runWindowed(Tick limit, std::uint64_t max_events)
+{
+    constexpr auto unlimited =
+        std::numeric_limits<std::uint64_t>::max();
+    for (;;) {
+        Tick t = 0;
+        if (!earliestPending(t)) {
+            return EventQueue::RunResult::Drained;
+        }
+        if (t > limit) {
+            coordNow_ = limit;
+            return EventQueue::RunResult::Limited;
+        }
+        if (max_events == 0)
+            return EventQueue::RunResult::Budget;
+        // H = min(T + W, limit + 1): events at exactly `limit` must
+        // still run (runUntil contract), and the horizon itself is
+        // exclusive. Guard the tick-type overflow on open-ended
+        // run() limits.
+        Tick h = t + window_;
+        if (h < t || (limit - t) < window_)
+            h = limit == std::numeric_limits<Tick>::max()
+                    ? limit
+                    : limit + 1;
+        horizon_ = h;
+        const std::uint64_t before = laneDispatched();
+        runWindow();
+        drainMailboxes();
+        coordNow_ = std::min(h - 1, limit);
+        ++windows_;
+        if (max_events != unlimited) {
+            const std::uint64_t ran = laneDispatched() - before;
+            max_events = ran >= max_events ? 0 : max_events - ran;
+        }
+    }
+}
+
+bool
+ShardRuntime::runUntil(Tick limit)
+{
+    return runWindowed(limit,
+                       std::numeric_limits<std::uint64_t>::max()) ==
+           EventQueue::RunResult::Drained;
+}
+
+EventQueue::RunResult
+ShardRuntime::runUntil(Tick limit, std::uint64_t max_events)
+{
+    return runWindowed(limit, max_events);
+}
+
+} // namespace umany

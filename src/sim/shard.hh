@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Conservative time-windowed parallel DES: shard one simulation
+ * across worker threads by ICN cluster partition.
+ *
+ * A ShardRuntime attaches to the simulation's EventQueue and splits
+ * its pending events into per-partition lanes: one lane per ICN
+ * cluster plus one shared lane for everything with no cluster
+ * affinity (external fabric, load generation, driver control). The
+ * lanes are distributed round-robin over a pool of worker threads
+ * and executed in lockstep windows:
+ *
+ *   1. The coordinator finds T, the earliest pending tick across all
+ *      lanes, and publishes a horizon H = T + W (W = the sync window,
+ *      by default the minimum cross-cluster ICN latency that the
+ *      SimProfiler's partitionability analyzer measures).
+ *   2. Every worker runs its lanes up to but excluding H. An event
+ *      scheduled into the executing lane stays local; an event for
+ *      another lane is pushed into a single-producer mailbox.
+ *   3. At the window barrier the coordinator drains all mailboxes in
+ *      a fixed order (destination lane, then source lane, then FIFO)
+ *      into the destination lanes, clamping any tick below H up to H.
+ *
+ * Because every lane only executes events below H and every
+ * cross-lane effect lands at or after H, no lane can observe another
+ * lane mid-window: the schedule is conservative and the simulated
+ * results are identical for any shard count N — lanes are derived
+ * from the model (cluster ids), not from the thread count, and the
+ * drain order is fixed. Results are *not* tick-for-tick identical to
+ * the serial kernel: cross-lane events that would have landed inside
+ * the current window are deferred to its horizon (bounded lateness
+ * <= W per lane transition, counted in clampedEvents()).
+ *
+ * The serial kernel is untouched: with no runtime attached the
+ * EventQueue pays one null-check per operation and `--shards=1`
+ * stays byte-identical to the sequential simulator.
+ */
+
+#ifndef UMANY_SIM_SHARD_HH
+#define UMANY_SIM_SHARD_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace umany
+{
+
+class SimProfiler;
+
+class ShardRuntime
+{
+  public:
+    struct Params
+    {
+        /** ICN clusters; lanes 0..clusters-1 plus one shared lane. */
+        std::uint32_t clusters = 1;
+        /** Worker threads (clamped to the lane count). */
+        std::uint32_t shards = 2;
+        /** Sync window width in ticks (clamped up to 1). */
+        Tick window = 1;
+    };
+
+    ShardRuntime(EventQueue &eq, const Params &p);
+    ShardRuntime(const ShardRuntime &) = delete;
+    ShardRuntime &operator=(const ShardRuntime &) = delete;
+    ~ShardRuntime();
+
+    /**
+     * Take over the queue: move its pending events into the lanes
+     * (in (tick, seq) order, so pre-attach FIFO ties survive) and
+     * start the worker pool. The queue routes every kernel operation
+     * through this runtime until detach().
+     */
+    void attach();
+
+    /**
+     * Release the queue: stop the workers, fold the lanes' dispatch
+     * counts and any still-pending events back into the queue, and
+     * restore serial operation.
+     */
+    void detach();
+
+    std::uint32_t
+    laneCount() const
+    {
+        return static_cast<std::uint32_t>(lanes_.size());
+    }
+    std::uint32_t shardCount() const { return shards_; }
+    Tick window() const { return window_; }
+
+    /**
+     * Attach a per-lane profiler (null detaches). Lane profilers see
+     * only their lane's events; the driver merges them into the main
+     * profile after the run (SimProfiler::mergeFrom).
+     */
+    void setLaneProfiler(std::uint32_t lane, SimProfiler *prof);
+
+    /** @name Window-loop statistics @{ */
+    std::uint64_t windowsRun() const { return windows_; }
+    /** Cross-lane events whose tick was clamped up to a horizon. */
+    std::uint64_t clampedEvents() const { return clamped_; }
+    /** Largest single clamp applied (bounded by window()). */
+    Tick maxClampTicks() const { return maxClamp_; }
+    /** Cross-lane events routed through mailboxes. */
+    std::uint64_t crossLaneEvents() const;
+    /** @} */
+
+    /**
+     * @name Thread-local execution context
+     *
+     * While a worker runs a lane, that lane's index is visible to
+     * the components executing inside it; per-lane state (RNG
+     * streams, round-robin cursors, stat counters) indexes on it.
+     * Outside a lane (coordinator, attach/detach, serial mode) there
+     * is no current lane.
+     * @{
+     */
+    /** Executing lane index, or laneNone outside a lane. */
+    static std::uint32_t currentLane();
+    static constexpr std::uint32_t laneNone = 0xffffffffu;
+    /**
+     * Executing lane clamped into [0, lanes): coordinator-context
+     * work belongs to the shared lane (lanes - 1).
+     */
+    static std::uint32_t
+    currentLaneOr(std::uint32_t lanes)
+    {
+        const std::uint32_t l = currentLane();
+        return l < lanes ? l : lanes - 1;
+    }
+    /** @} */
+
+    /**
+     * @name Facade entry points
+     *
+     * The attached EventQueue forwards its public operations here;
+     * components keep their single EventQueue reference and stay
+     * oblivious to the sharding.
+     * @{
+     */
+    void routeSchedule(Tick when, EvTag tag, EventQueue::Callback cb);
+    Tick currentNow() const;
+    SimProfiler *currentProfiler() const;
+    std::size_t pendingEvents() const;
+    std::uint64_t laneDispatched() const;
+    bool runUntil(Tick limit);
+    EventQueue::RunResult runUntil(Tick limit,
+                                   std::uint64_t max_events);
+    /** @} */
+
+  private:
+    struct Pending
+    {
+        Tick when;
+        EvTag tag;
+        EventQueue::Callback cb;
+    };
+
+    struct Lane
+    {
+        EventQueue q;
+        /**
+         * outbox[dst]: events this lane scheduled for lane dst in
+         * the current window. Single producer (the worker executing
+         * this lane); consumed by the coordinator at the barrier.
+         */
+        std::vector<std::vector<Pending>> outbox;
+        std::uint64_t crossLane = 0;
+    };
+
+    /** Map a node partition id onto a lane index. */
+    std::uint32_t
+    laneOf(std::uint16_t part) const
+    {
+        const auto lanes = static_cast<std::uint32_t>(lanes_.size());
+        return part < lanes - 1 ? part : lanes - 1;
+    }
+
+    EventQueue::RunResult runWindowed(Tick limit,
+                                      std::uint64_t max_events);
+    /** Earliest pending tick across lanes; false when all drained. */
+    bool earliestPending(Tick &out) const;
+    /** Release the workers for one window and run shard 0's lanes. */
+    void runWindow();
+    void runOwnedLanes(std::uint32_t shard);
+    void drainMailboxes();
+    void workerLoop(std::uint32_t shard);
+
+    EventQueue &eq_;
+    std::vector<std::unique_ptr<Lane>> lanes_;
+    std::uint32_t shards_;
+    Tick window_;
+    bool attached_ = false;
+
+    /** Facade now() for coordinator-context reads (heartbeats). */
+    Tick coordNow_ = 0;
+    std::uint64_t windows_ = 0;
+    std::uint64_t clamped_ = 0;
+    Tick maxClamp_ = 0;
+
+    /**
+     * Window barrier. The coordinator publishes horizon_, bumps
+     * epoch_ (release) and waits for arrived_ to reach the worker
+     * count; each worker waits for a new epoch (acquire), runs its
+     * lanes to the horizon and bumps arrived_ (release). The
+     * epoch/arrived pair carries the happens-before edges for all
+     * lane and mailbox state.
+     */
+    Tick horizon_ = 0;
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<std::uint32_t> arrived_{0};
+    std::atomic<bool> stop_{false};
+    std::vector<std::thread> workers_;
+};
+
+} // namespace umany
+
+#endif // UMANY_SIM_SHARD_HH

@@ -66,7 +66,8 @@ LoadGenerator::scheduleNext(Tick from)
     const Tick when = from + fromSec(gap_sec);
     if (when >= p_.stop)
         return;
-    eq_.schedule(when, EvTag{EvSrc::LoadGen}, [this, when]() {
+    eq_.schedule(when, EvTag{EvSrc::LoadGen, p_.partition},
+                 [this, when]() {
         ++generated_;
         submit_(pickEndpoint());
         scheduleNext(when);
