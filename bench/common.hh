@@ -112,6 +112,21 @@ struct BenchArgs
      */
     std::uint32_t shards = 1;
     Tick shardWindow = 0;
+    /**
+     * NIC dispatch / intra-machine scheduling policy:
+     *   --dispatch=rr|po2c|jsqd|steal|slo   (default rr: today's
+     *                        round-robin, byte-identical goldens)
+     *   --dispatch-probes=D        JSQ(d) probe count (jsqd only;
+     *                              po2c pins d=2)
+     *   --dispatch-probe-cycles=C  NIC cost per depth probe
+     *   --steal-attempts=N         sibling RQs probed per idle pass
+     *   --steal-cycles=C           cost per steal probe, hit or miss
+     *   --slo-budget-us=B          per-root latency budget (slo)
+     *   --slo-slice-us=S           preemption slice (slo; 0 = off)
+     * Non-rr policies are serial-only: --shards>1 falls back with a
+     * warning.
+     */
+    DispatchPolicyParams dispatch;
 
     void
     parse(int argc, char **argv)
@@ -134,6 +149,7 @@ struct BenchArgs
         if (wus < 0.0)
             fatal("shard_window_us must be >= 0 (got %g)", wus);
         shardWindow = fromUs(wus);
+        dispatch = dispatchParamsFromConfig(cfg, dispatch);
     }
 };
 
@@ -189,6 +205,7 @@ evalConfig(const MachineParams &machine, double rps_per_server,
     cfg.obs = args.obs;
     cfg.shards = args.shards;
     cfg.shardWindow = args.shardWindow;
+    cfg.machine.dispatch = args.dispatch;
     return cfg;
 }
 

@@ -205,6 +205,49 @@ figTailAttribSmall()
     return out;
 }
 
+/**
+ * Policy race at small scale: all five dispatch policies on the
+ * uManycore machine at one load, attribution on. Pins the policy
+ * mechanics end to end — probing NIC dispatch, hardware work
+ * stealing, SLO slicing/preemption — plus the gated cluster.sched.*
+ * counters and the ledger's tail split under each policy.
+ */
+std::string
+figPolicyRaceSmall()
+{
+    const ServiceCatalog catalog = buildSocialNetwork();
+    std::string out = "# fig_policy_race-small: dispatch policies "
+                      "(uManycore, 1 server, 8K RPS, attrib on)\n";
+    for (const char *policy :
+         {"rr", "po2c", "jsqd", "steal", "slo"}) {
+        ExperimentConfig cfg =
+            smallConfig(uManycoreParams(), 8000.0, 1);
+        cfg.machine.dispatch.kind = parseDispatchKind(policy);
+        cfg.obs.attrib = true;
+        StatsDump stats;
+        AttribResult a;
+        const RunMetrics m =
+            runExperiment(catalog, cfg, &stats, &a);
+        out += "== " + std::string(policy) + " ==\n";
+        out += metricsJson(m);
+        out += "\n";
+        out += stats.formatJson();
+        out += "\n";
+        out += strprintf("roots %llu mismatches %llu\n",
+                         static_cast<unsigned long long>(a.roots),
+                         static_cast<unsigned long long>(
+                             a.ledgerMismatches));
+        for (const auto &[comp, ticks] : a.profiler.rankedTail()) {
+            if (ticks == 0)
+                continue;
+            out += strprintf(
+                "tail %s %llu\n", attribCompName(comp),
+                static_cast<unsigned long long>(ticks));
+        }
+    }
+    return out;
+}
+
 struct GoldenCase
 {
     const char *name;
@@ -217,6 +260,7 @@ const GoldenCase kCases[] = {
     {"fig18-small", fig18Small},
     {"fig_resilience-small", figResilienceSmall},
     {"fig_tail_attrib-small", figTailAttribSmall},
+    {"fig_policy_race-small", figPolicyRaceSmall},
 };
 
 std::string

@@ -10,6 +10,7 @@
  * Usage:
  *   replay_check [machine=uManycore|ScaleOut|ServerClass]
  *                [rps=N] [servers=N] [measure_ms=N] [seed=N]
+ *                [dispatch=rr|po2c|jsqd|steal|slo]
  */
 
 #include <cstdio>
@@ -89,6 +90,8 @@ main(int argc, char **argv)
     base.measure = fromMs(cfg.getDouble("measure_ms", 40.0));
     base.seed = static_cast<std::uint64_t>(
         cfg.getInt("seed", 0x5eedll));
+    base.machine.dispatch.kind =
+        parseDispatchKind(cfg.getString("dispatch", "rr"));
 
     const ServiceCatalog catalog = buildSocialNetwork();
     int failures = 0;

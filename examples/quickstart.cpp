@@ -6,6 +6,7 @@
  *
  * Usage: quickstart [rps=10000] [servers=4] [seed=1] [machine=um]
  *                   [app=social|media] [arrivals=bursty|poisson]
+ *                   [--dispatch=rr|po2c|jsqd|steal|slo]
  *                   [--trace-out=run.trace.json]
  *                   [--stats-json=run.json]
  *                   [--sample-interval-us=50]
@@ -20,6 +21,7 @@
 
 #include "arch/presets.hh"
 #include "driver/experiment.hh"
+#include "sched/dispatch_policy.hh"
 #include "sim/config.hh"
 #include "sim/logging.hh"
 #include "stats/stats_dump.hh"
@@ -55,6 +57,8 @@ main(int argc, char **argv)
     exp.measure = fromMs(400.0);
     if (cfg.getString("arrivals", "bursty") == "bursty")
         exp.arrivals = ArrivalKind::Bursty;
+    exp.machine.dispatch =
+        dispatchParamsFromConfig(cfg, exp.machine.dispatch);
     exp.obs.traceOut = cfg.getString("trace_out", "");
     exp.obs.statsJson = cfg.getString("stats_json", "");
     const double sample_us =

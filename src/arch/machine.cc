@@ -37,6 +37,26 @@ Machine::Machine(std::string name, EventQueue &eq,
     }
     buildTopology();
     buildStructure();
+
+    // Dispatch-policy setup. Steal and Slo drive the hardware RQ
+    // (entry adoption, policy-directed Dequeue); on software-
+    // scheduled machines they degrade to round-robin, loudly.
+    dkind_ = p_.dispatch.kind;
+    if ((dkind_ == DispatchKind::Steal ||
+         dkind_ == DispatchKind::Slo) &&
+        p_.sched != MachineParams::Sched::HwRq) {
+        warn("machine '%s': --dispatch=%s needs the hardware RQ; "
+             "falling back to rr",
+             p_.name.c_str(), dispatchKindName(dkind_));
+        dkind_ = DispatchKind::RoundRobin;
+    }
+    if (p_.dispatch.probing()) {
+        nicPolicy_ = std::make_unique<NicDispatchPolicy>(
+            p_.dispatch, streamSeed(seed_, rngstream::dispatch));
+    }
+    sloBudget_ = fromUs(p_.dispatch.sloBudgetUs);
+    sloSlice_ = fromUs(p_.dispatch.sloSliceUs);
+
     UMANY_INVARIANT({
         InvariantChecker *ic = InvariantChecker::active();
         // Qualified: the ctor's `name` parameter shadows the accessor.
@@ -213,6 +233,8 @@ Machine::buildStructure()
     // All cores start idle.
     for (CoreId c = 0; c < p_.numCores; ++c)
         markIdle(c);
+
+    stealCursor_.assign(num_villages, 0);
 }
 
 VillageId
@@ -320,6 +342,64 @@ Machine::pickInstance(ServiceId service)
                     : serviceMap_.pick(service);
 }
 
+VillageId
+Machine::pickDispatch(ServiceId service, Tick &probe_delay)
+{
+    probe_delay = 0;
+    if (nicPolicy_ == nullptr)
+        return pickInstance(service);
+    // The probe reads total entry occupancy (running + blocked +
+    // ready, plus NIC overflow), not just the ready backlog: at
+    // moderate load ready counts tie at zero almost everywhere and
+    // the probe would degenerate to random placement, which loses
+    // to round-robin's even spread. Occupancy discriminates between
+    // a village with idle cores and one whose entries are all
+    // blocked on children. On a heterogeneous machine the signal is
+    // expected drain time, not raw occupancy: (occupancy + the
+    // request itself) scaled by the village's perf factor, so a
+    // beefy village with the same backlog still probes shallower.
+    // The x256 fixed-point scale keeps the key integral without
+    // changing the ordering on homogeneous machines.
+    const VillageId v = nicPolicy_->pick(
+        serviceMap_.villagesOf(service), [this](VillageId c) {
+            std::size_t occ;
+            if (p_.sched == MachineParams::Sched::HwRq) {
+                occ = static_cast<std::size_t>(
+                          villages_[c].rq->inFlight()) +
+                      villages_[c].rq->bufferedCount();
+            } else {
+                occ = villageQueueDepth(c);
+            }
+            return static_cast<std::size_t>(
+                static_cast<double>((occ + 1) * 256) *
+                villagePerfFactor(c));
+        });
+    // The NIC spends probeCycles per depth read before the request
+    // can leave for its village.
+    probe_delay =
+        cyc(static_cast<double>(p_.dispatch.probeCycles) *
+            static_cast<double>(nicPolicy_->lastProbes().size()));
+    return v;
+}
+
+std::int64_t
+Machine::laxityOf(const ServiceRequest &req) const
+{
+    const double scale =
+        p_.perfFactor * villagePerfFactor(req.village);
+    const auto work = static_cast<Tick>(
+        static_cast<double>(req.remainingWork()) * scale);
+    return static_cast<std::int64_t>(req.createdAt + sloBudget_) -
+           static_cast<std::int64_t>(curTick()) -
+           static_cast<std::int64_t>(work);
+}
+
+ReadyList::KeyFn
+Machine::laxityKey() const
+{
+    return [this](const ServiceRequest &r) { return laxityOf(r); };
+}
+
 std::uint64_t
 Machine::completedRequests() const
 {
@@ -414,18 +494,22 @@ Machine::externalArrival(ServiceRequest *req)
     // dispatch-path work.
     UMANY_ATTRIB(AttribRegistry::active()->charge(
         *req, AttribComp::NicDispatch, curTick()));
-    const Tick t = topNic_->ingress(curTick(), req->reqBytes);
+    Tick t = topNic_->ingress(curTick(), req->reqBytes);
 
     const EndpointId ext = topo_->externalEndpoint();
     VillageId v;
     if (degradedDispatch()) {
+        // Degraded mode keeps the liveness-aware walk; probing
+        // policies re-engage once the machine heals.
         v = pickReachableVillage(req->service(), ext);
         if (v == invalidId) {
             shedRequest(req, t);
             return;
         }
     } else {
-        v = pickInstance(req->service());
+        Tick probe_delay = 0;
+        v = pickDispatch(req->service(), probe_delay);
+        t += probe_delay;
     }
     eventq().schedule(t, evTagV(EvSrc::RpcNic, v),
                       [this, req, v, ext]() {
@@ -449,7 +533,25 @@ Machine::localCall(ServiceRequest *child, VillageId from_village)
             return;
         }
     } else {
-        v = pickInstance(child->service());
+        Tick probe_delay = 0;
+        v = pickDispatch(child->service(), probe_delay);
+        if (probe_delay > 0) {
+            // Depth probes delay the child's dispatch; round-robin
+            // keeps the zero-delay direct path below.
+            eventq().schedule(curTick() + probe_delay,
+                              evTagV(EvSrc::RpcNic, v),
+                              [this, child, v, from_village]() {
+                UMANY_ATTRIB(AttribRegistry::active()->charge(
+                    *child, AttribComp::NicDispatch, curTick()));
+                sendIcn(villageEndpoint(from_village),
+                        villageEndpoint(v), child->reqBytes,
+                        MsgClass::Request,
+                        [this, child, v]() {
+                    villageIngress(child, v);
+                });
+            });
+            return;
+        }
     }
     sendIcn(villageEndpoint(from_village), villageEndpoint(v),
             child->reqBytes, MsgClass::Request,
@@ -604,15 +706,45 @@ Machine::tryWakeQueue(std::uint32_t q)
 }
 
 void
-Machine::corePickup(CoreId core)
+Machine::corePickup(CoreId core, bool allow_steal)
 {
     Tick done = curTick();
     ServiceRequest *req = nullptr;
     if (p_.sched == MachineParams::Sched::HwRq) {
-        req = villages_[villageOfCore(core)].rq->dequeue(curTick(),
-                                                         done);
+        HwRq &rq = *villages_[villageOfCore(core)].rq;
+        if (dkind_ == DispatchKind::Slo)
+            req = rq.dequeueBy(curTick(), done, laxityKey());
+        else
+            req = rq.dequeue(curTick(), done);
+        if (req == nullptr && allow_steal &&
+            dkind_ == DispatchKind::Steal) {
+            req = trySteal(core, done);
+            if (req != nullptr) {
+                startRun(core, req, done, /*stolen=*/true);
+                return;
+            }
+            if (done > curTick()) {
+                // Every probe failed, but each one still burned
+                // stealCycles: the core stays busy until `done`,
+                // then re-checks its home RQ once (no second steal
+                // walk, so an empty machine quiesces).
+                eventq().schedule(
+                    done, evTagC(EvSrc::SchedDispatch, core),
+                    [this, core]() { corePickup(core, false); });
+                return;
+            }
+        }
     } else {
         req = swq_->dequeue(core, curTick(), done);
+        if (req == nullptr && allow_steal && p_.workStealing &&
+            done > curTick()) {
+            // Failed steal probes serialized on victim locks until
+            // `done`; the core is not idle for that window.
+            eventq().schedule(
+                done, evTagC(EvSrc::SchedDispatch, core),
+                [this, core]() { corePickup(core, false); });
+            return;
+        }
     }
     if (req == nullptr) {
         markIdle(core);
@@ -621,9 +753,63 @@ Machine::corePickup(CoreId core)
     startRun(core, req, done);
 }
 
-void
-Machine::startRun(CoreId core, ServiceRequest *req, Tick ready_at)
+ServiceRequest *
+Machine::trySteal(CoreId core, Tick &done)
 {
+    const VillageId home = villageOfCore(core);
+    Village &hv = villages_[home];
+    // No free entry to adopt the stolen request into: don't probe.
+    if (hv.rq->full())
+        return nullptr;
+    const Cluster &cl = clusters_[clusterOfVillage(home)];
+    const auto n = static_cast<std::uint32_t>(cl.villages.size());
+    if (n <= 1)
+        return nullptr;
+    std::uint32_t &cursor = stealCursor_[home];
+    const std::uint32_t attempts = std::min(
+        p_.dispatch.stealAttempts, n - 1);
+    for (std::uint32_t i = 0; i < attempts; ++i) {
+        do {
+            cursor = (cursor + 1) % n;
+        } while (cl.villages[cursor] == home);
+        const VillageId victim = cl.villages[cursor];
+        done += cyc(static_cast<double>(p_.dispatch.stealCycles));
+        ++stealProbes_;
+        ServiceRequest *promoted = nullptr;
+        ServiceRequest *req =
+            villages_[victim].rq->stealYoungest(promoted);
+        if (promoted != nullptr) {
+            // The freed entry pulled a buffered request in; same
+            // handling as the Complete-side promotion.
+            promoted->enqueuedAt = curTick();
+            promoted->state = ReqState::Queued;
+            UMANY_ATTRIB(AttribRegistry::active()->charge(
+                *promoted, AttribComp::NicDispatch, curTick()));
+            tryWakeVillage(victim);
+        }
+        if (req != nullptr) {
+            hv.rq->adoptStolen(req->service());
+            req->village = home;
+            ++steals_;
+            UMANY_INVARIANT(
+                InvariantChecker::active()->onSteal(*req));
+            UMANY_TRACE(TraceSink::active()->instant(
+                curTick(), self_, traceCoreTrack(core), "rq.steal",
+                req->id()));
+            return req;
+        }
+    }
+    return nullptr;
+}
+
+void
+Machine::startRun(CoreId core, ServiceRequest *req, Tick ready_at,
+                  bool stolen)
+{
+    // Policy accounting (serial-mode only: non-rr policies never
+    // shard, so these counters see no concurrent writers).
+    if (dkind_ != DispatchKind::RoundRobin && !stolen)
+        ++directDispatches_;
     cores_[core].beginWork(req, curTick());
     req->queuedTime += curTick() - req->enqueuedAt;
     // The ledger's RQ-wait window is exactly the queuedTime interval;
@@ -637,8 +823,9 @@ Machine::startRun(CoreId core, ServiceRequest *req, Tick ready_at)
 
     Tick t = ready_at;
     // Context restore (Dequeue uploads state in hardware; software
-    // schedulers run the restore path).
-    if (req->segIndex > 0) {
+    // schedulers run the restore path). Preempted requests carry
+    // saved context even inside their first segment.
+    if (req->segIndex > 0 || req->preemptions > 0) {
         t += p_.cs.restoreTime(p_.core.ghz);
         req->contextSwitches += 1;
         cores_[core].countSwitch();
@@ -693,8 +880,21 @@ Machine::runSegment(CoreId core, ServiceRequest *req)
     // with a zero-length window and charge nothing.)
     UMANY_ATTRIB(AttribRegistry::active()->chargeIcn(
         *req, net_->lastDelivery(), curTick()));
-    double work = static_cast<double>(
-        req->behavior().segments[req->segIndex]);
+    // Slo runs the segment in slices so a more urgent arrival can
+    // preempt at the next boundary; everything else executes the
+    // whole (remaining) segment. segProgress is 0 outside Slo, so
+    // the round-robin arithmetic below is untouched.
+    const Tick seg_ref = req->behavior().segments[req->segIndex];
+    Tick slice_ref = seg_ref > req->segProgress
+                         ? seg_ref - req->segProgress
+                         : 0;
+    bool sliced = false;
+    if (dkind_ == DispatchKind::Slo && sloSlice_ > 0 &&
+        slice_ref > sloSlice_) {
+        slice_ref = sloSlice_;
+        sliced = true;
+    }
+    double work = static_cast<double>(slice_ref);
     work *= p_.perfFactor * villagePerfFactor(req->village);
     const Tick base = static_cast<Tick>(work);
     if (coherence_.scope() == CoherenceScope::Global)
@@ -751,8 +951,51 @@ Machine::runSegment(CoreId core, ServiceRequest *req)
     }
 
     eventq().scheduleAfter(dur, evTagC(EvSrc::CoreRun, core),
-                           [this, core, req]() {
-        segmentDone(core, req);
+                           [this, core, req, sliced, slice_ref]() {
+        if (sliced) {
+            sliceDone(core, req, slice_ref);
+        } else {
+            req->segProgress = 0;
+            segmentDone(core, req);
+        }
+    });
+}
+
+void
+Machine::sliceDone(CoreId core, ServiceRequest *req, Tick slice_ref)
+{
+    req->segProgress += slice_ref;
+    req->lastCore = core;
+    // Least-laxity preemption: yield only to a strictly more urgent
+    // ready entry, so two equal requests never ping-pong.
+    std::int64_t best = 0;
+    const HwRq &rq = *villages_[req->village].rq;
+    if (!rq.minReadyKey(laxityKey(), best) ||
+        best >= laxityOf(*req)) {
+        runSegment(core, req);
+        return;
+    }
+
+    ++preempts_;
+    req->preemptions += 1;
+    req->contextSwitches += 1;
+    cores_[core].countSwitch();
+    UMANY_TRACE({
+        traceReqTransition(curTick(), *req, ReqState::Ready);
+        TraceSink::active()->instant(curTick(), self_,
+                                     traceCoreTrack(core),
+                                     "cs.preempt", req->id());
+    });
+    const Tick t = curTick() + p_.cs.saveTime(p_.core.ghz);
+    UMANY_ATTRIB(AttribRegistry::active()->charge(
+        *req, AttribComp::CtxSwitch, t));
+    req->state = ReqState::Ready;
+    req->enqueuedAt = t;
+    UMANY_INVARIANT(InvariantChecker::active()->onPreempt(*req));
+    eventq().schedule(t, evTagV(EvSrc::CtxSwitch, req->village),
+                      [this, core, req]() {
+        villages_[req->village].rq->makeReady(req->seq, req);
+        releaseCore(core);
     });
 }
 
@@ -1134,14 +1377,22 @@ Machine::auditInvariants(InvariantChecker &ic, bool final) const
                       "entries",
                       name().c_str(), v, rq.inFlight(),
                       rq.params().entries);
-            ic.expect(rq.admitted() ==
-                          rq.completes() + rq.inFlight(),
+            // With work stealing, entries admitted here can finish
+            // elsewhere (stealsOut) and vice versa (stealsIn);
+            // without it both terms are zero and this reduces to
+            // the classic admitted == completes + inFlight.
+            ic.expect(rq.admitted() + rq.stealsIn() ==
+                          rq.completes() + rq.stealsOut() +
+                              rq.inFlight(),
                       "%s village %zu: admission arithmetic broken "
-                      "(%llu admitted != %llu completes + %u in "
-                      "flight)",
+                      "(%llu admitted + %llu stolen in != %llu "
+                      "completes + %llu stolen out + %u in flight)",
                       name().c_str(), v,
                       static_cast<unsigned long long>(rq.admitted()),
+                      static_cast<unsigned long long>(rq.stealsIn()),
                       static_cast<unsigned long long>(rq.completes()),
+                      static_cast<unsigned long long>(
+                          rq.stealsOut()),
                       rq.inFlight());
             ic.expect(rq.bufferedCount() <=
                           rq.params().nicBufferEntries,

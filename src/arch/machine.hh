@@ -27,6 +27,7 @@
 #include "noc/topology.hh"
 #include "rpc/top_nic.hh"
 #include "rpc/transport.hh"
+#include "sched/dispatch_policy.hh"
 #include "sched/dispatcher.hh"
 #include "sched/queue_system.hh"
 #include "sched/service_map.hh"
@@ -81,6 +82,13 @@ struct MachineParams
     /** Fig 3: assign arrivals to random queues instead of by
      *  instance locality. */
     bool randomQueueAssignment = false;
+    /**
+     * Dispatch/scheduling policy (--dispatch=rr|po2c|jsqd|steal|slo).
+     * RoundRobin is the paper's hardware dispatch and byte-identical
+     * to the seed; steal/slo need the hardware RQ and fall back to
+     * rr (with a warning) on software-scheduled machines.
+     */
+    DispatchPolicyParams dispatch;
     /** @} */
 
     /** @name Cost models @{ */
@@ -240,6 +248,31 @@ class Machine : public SimObject
     std::uint64_t completedRequests() const;
     std::uint64_t rejectedRequests() const;
     std::uint64_t contextSwitches() const;
+
+    /** @name Dispatch-policy introspection @{ */
+    /** Effective policy (after the software-scheduling fallback). */
+    DispatchKind dispatchKind() const { return dkind_; }
+    /** Core pickups that began running a request (direct + steal). */
+    std::uint64_t schedDispatches() const
+    {
+        return directDispatches_ + steals_;
+    }
+    std::uint64_t schedDirectDispatches() const
+    {
+        return directDispatches_;
+    }
+    /** Cross-village steals executed (HW RQ policy). */
+    std::uint64_t schedSteals() const { return steals_; }
+    /** Steal probes issued, failed ones included. */
+    std::uint64_t schedStealProbes() const { return stealProbes_; }
+    /** NIC depth probes issued by po2c/jsqd. */
+    std::uint64_t schedNicProbes() const
+    {
+        return nicPolicy_ ? nicPolicy_->probesIssued() : 0;
+    }
+    /** Slice preemptions executed (Slo policy). */
+    std::uint64_t schedPreemptions() const { return preempts_; }
+    /** @} */
     double avgCoreUtilization() const;
     /** Utilization of the software dispatcher core (0 when absent). */
     double dispatcherUtilization() const;
@@ -274,6 +307,20 @@ class Machine : public SimObject
     std::uint64_t completed_ = 0;
     std::uint64_t rejected_ = 0;
     std::uint64_t shedNoPath_ = 0;
+
+    /** @name Dispatch policy (serial-mode only; non-rr policies are
+     *  ineligible for sharding) @{ */
+    DispatchKind dkind_ = DispatchKind::RoundRobin;
+    std::unique_ptr<NicDispatchPolicy> nicPolicy_;
+    /** Per-village deterministic steal cursor over siblings. */
+    std::vector<std::uint32_t> stealCursor_;
+    Tick sloBudget_ = 0;
+    Tick sloSlice_ = 0;
+    std::uint64_t directDispatches_ = 0;
+    std::uint64_t steals_ = 0;
+    std::uint64_t stealProbes_ = 0;
+    std::uint64_t preempts_ = 0;
+    /** @} */
 
     /** @name Parallel-DES mode @{ */
     bool sharded_ = false;
@@ -331,9 +378,12 @@ class Machine : public SimObject
     void reEnqueue(ServiceRequest *req);
     void tryWakeVillage(VillageId v);
     void tryWakeQueue(std::uint32_t q);
-    void corePickup(CoreId core);
-    void startRun(CoreId core, ServiceRequest *req, Tick ready_at);
+    void corePickup(CoreId core) { corePickup(core, true); }
+    void corePickup(CoreId core, bool allow_steal);
+    void startRun(CoreId core, ServiceRequest *req, Tick ready_at,
+                  bool stolen = false);
     void runSegment(CoreId core, ServiceRequest *req);
+    void sliceDone(CoreId core, ServiceRequest *req, Tick slice_ref);
     void segmentDone(CoreId core, ServiceRequest *req);
     void issueCallGroup(ServiceRequest *req, VillageId v);
     void finishRequest(ServiceRequest *req, VillageId v);
@@ -343,6 +393,26 @@ class Machine : public SimObject
     void rejectRequest(ServiceRequest *req);
     void releaseCore(CoreId core);
     void markIdle(CoreId core);
+    /** @} */
+
+    /** @name Policy dispatch helpers @{ */
+    /**
+     * Policy-aware instance pick. Probing policies (po2c/jsqd) read
+     * candidate RQ depths and return the probe cost in
+     * @p probe_delay; round-robin leaves it zero and is
+     * byte-identical to pickInstance().
+     */
+    VillageId pickDispatch(ServiceId service, Tick &probe_delay);
+    /**
+     * Idle-core steal walk over the home cluster's sibling RQs:
+     * up to stealAttempts probes at stealCycles each, charged into
+     * @p done whether or not a victim had work (youngest-first per
+     * the Corey schedule::steal() design).
+     */
+    ServiceRequest *trySteal(CoreId core, Tick &done);
+    /** Slack of @p req against its SLO budget (Slo policy). */
+    std::int64_t laxityOf(const ServiceRequest &req) const;
+    ReadyList::KeyFn laxityKey() const;
     /** @} */
 
     /** @name Degraded-mode dispatch @{ */

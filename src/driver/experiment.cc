@@ -187,6 +187,9 @@ shardBlocker(const ExperimentConfig &cfg, bool tracing,
     if (cfg.machine.cs.scheme != CsScheme::HardwareRq)
         return "software context switching serializes through the "
                "dispatcher";
+    if (cfg.machine.dispatch.kind != DispatchKind::RoundRobin)
+        return "non-round-robin dispatch reads cross-lane queue "
+               "state";
     if (!cfg.faults.empty())
         return "fault injection mutates machine-global state";
     if (tracing)
@@ -200,6 +203,13 @@ shardBlocker(const ExperimentConfig &cfg, bool tracing,
 }
 
 } // namespace
+
+const char *
+shardBlockerReason(const ExperimentConfig &cfg, bool tracing,
+                   bool attributing)
+{
+    return shardBlocker(cfg, tracing, attributing);
+}
 
 RunMetrics
 runExperiment(const ServiceCatalog &catalog,

@@ -138,6 +138,15 @@ RunMetrics runExperiment(const ServiceCatalog &catalog,
                          AttribResult *attrib_out = nullptr);
 
 /**
+ * Why a shards > 1 run with this configuration would fall back to
+ * the serial kernel, or nullptr when it is parallel-eligible.
+ * @param tracing Whether a trace sink would be installed.
+ * @param attributing Whether the attribution registry would be on.
+ */
+const char *shardBlockerReason(const ExperimentConfig &cfg,
+                               bool tracing, bool attributing);
+
+/**
  * Contention-free per-endpoint average execution time: a low-load
  * run with ICN contention disabled. Used to derive the §6.5 QoS
  * thresholds (5x this average).

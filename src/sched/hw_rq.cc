@@ -68,12 +68,49 @@ HwRq::dequeue(Tick now, Tick &done)
 }
 
 ServiceRequest *
+HwRq::dequeueBy(Tick now, Tick &done, const ReadyList::KeyFn &key)
+{
+    done = now + cyclesToTicks(
+                     static_cast<double>(p_.dequeueCycles), p_.ghz);
+    return ready_.popMinBy(key);
+}
+
+ServiceRequest *
+HwRq::stealYoungest(ServiceRequest *&promoted)
+{
+    promoted = nullptr;
+    ServiceRequest *req = ready_.popBack();
+    if (req == nullptr)
+        return nullptr;
+    ++stealsOut_;
+    promoted = releaseEntry(req->service());
+    return req;
+}
+
+void
+HwRq::adoptStolen(ServiceId service)
+{
+    ++inFlight_;
+    ++stealsIn_;
+    if (p_.partitioned)
+        perService_[service] += 1;
+}
+
+ServiceRequest *
 HwRq::complete(ServiceId finished_service)
 {
     if (inFlight_ == 0)
         panic("RQ complete with no in-flight entries");
-    --inFlight_;
     ++completes_;
+    return releaseEntry(finished_service);
+}
+
+ServiceRequest *
+HwRq::releaseEntry(ServiceId finished_service)
+{
+    if (inFlight_ == 0)
+        panic("RQ entry release with no in-flight entries");
+    --inFlight_;
     if (p_.partitioned) {
         auto it = perService_.find(finished_service);
         if (it != perService_.end() && it->second > 0)

@@ -91,6 +91,38 @@ class HwRq
     ServiceRequest *dequeue(Tick now, Tick &done);
 
     /**
+     * Policy-directed Dequeue: pop the ready entry minimizing
+     * @p key (ties FCFS). Same instruction cost as dequeue().
+     */
+    ServiceRequest *dequeueBy(Tick now, Tick &done,
+                              const ReadyList::KeyFn &key);
+
+    /** Smallest @p key among ready entries; false when none. */
+    bool
+    minReadyKey(const ReadyList::KeyFn &key, std::int64_t &out) const
+    {
+        return ready_.minKey(key, out);
+    }
+
+    /**
+     * A sibling village's idle core steals this RQ's youngest ready
+     * entry (Corey schedule::steal() semantics: the youngest is the
+     * coldest). Frees the entry here; if the NIC buffer holds an
+     * admissible request it is promoted into the freed entry and
+     * returned via @p promoted (same contract as complete()).
+     *
+     * @return The stolen request, or nullptr when nothing is ready.
+     */
+    ServiceRequest *stealYoungest(ServiceRequest *&promoted);
+
+    /**
+     * Account a request stolen from a sibling into this village:
+     * it occupies an entry here from now (it goes straight to the
+     * thief core, so it never visits the ready list).
+     */
+    void adoptStolen(ServiceId service);
+
+    /**
      * Complete instruction: free the entry of a request of
      * @p finished_service; if the NIC buffer holds an admissible
      * waiting request, it is promoted into the freed entry.
@@ -113,9 +145,14 @@ class HwRq
 
     std::uint64_t admitted() const { return admitted_; }
     std::uint64_t rejectedCount() const { return rejected_; }
-    /** Complete instructions executed (conservation: admitted ==
-     *  completes + inFlight at every point). */
+    /** Complete instructions executed (conservation: admitted +
+     *  stealsIn == completes + stealsOut + inFlight at every
+     *  point). */
     std::uint64_t completes() const { return completes_; }
+    /** Entries stolen out of this RQ by sibling villages. */
+    std::uint64_t stealsOut() const { return stealsOut_; }
+    /** Requests adopted from sibling RQs by this village's cores. */
+    std::uint64_t stealsIn() const { return stealsIn_; }
     /** Idle-core registry contents (invariant auditing). */
     const std::vector<CoreId> &idleCores() const { return idleCores_; }
 
@@ -128,6 +165,12 @@ class HwRq
     std::uint64_t admitted_ = 0;
     std::uint64_t rejected_ = 0;
     std::uint64_t completes_ = 0;
+    std::uint64_t stealsOut_ = 0;
+    std::uint64_t stealsIn_ = 0;
+
+    /** Shared tail of complete()/stealYoungest(): release one
+     *  entry and promote the oldest admissible buffered request. */
+    ServiceRequest *releaseEntry(ServiceId finished_service);
 
     /** RQ_Map: per-service entry occupancy (partitioned mode). */
     std::vector<ServiceId> services_;

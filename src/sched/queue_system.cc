@@ -36,6 +36,42 @@ ReadyList::popBack()
     return req;
 }
 
+ServiceRequest *
+ReadyList::popMinBy(const KeyFn &key)
+{
+    if (entries_.empty())
+        return nullptr;
+    auto best = entries_.begin();
+    std::int64_t best_key = key(*best->second);
+    for (auto it = std::next(best); it != entries_.end(); ++it) {
+        const std::int64_t k = key(*it->second);
+        // Strict <: ties keep the earliest seq (FCFS among equals).
+        if (k < best_key) {
+            best = it;
+            best_key = k;
+        }
+    }
+    ServiceRequest *req = best->second;
+    entries_.erase(best);
+    return req;
+}
+
+bool
+ReadyList::minKey(const KeyFn &key, std::int64_t &out) const
+{
+    if (entries_.empty())
+        return false;
+    bool first = true;
+    for (const auto &[seq, req] : entries_) {
+        const std::int64_t k = key(*req);
+        if (first || k < out) {
+            out = k;
+            first = false;
+        }
+    }
+    return true;
+}
+
 SwQueueSystem::SwQueueSystem(const SwQueueParams &p, std::uint64_t seed)
     : p_(p), rng_(seed)
 {
@@ -113,13 +149,17 @@ SwQueueSystem::dequeue(CoreId core, Tick now, Tick &done)
     if (req != nullptr || !p_.workStealing)
         return req;
 
-    // Steal: probe random victims, paying for each probe.
+    // Steal: probe random victims, paying for each probe. Failed
+    // probes (and self-collisions) still grab the victim's lock and
+    // burn stealCycles — the cost lands in `done` either way, so the
+    // caller sees the core busy even when nothing was found.
     for (std::uint32_t i = 0; i < p_.stealAttempts; ++i) {
         const std::uint32_t victim =
             static_cast<std::uint32_t>(rng_.below(p_.numQueues));
+        ++stealProbes_;
+        done = lockOp(victim, done, p_.stealCycles);
         if (victim == home)
             continue;
-        done = lockOp(victim, done, p_.stealCycles);
         req = queues_[victim].ready.popBack();
         if (req != nullptr) {
             ++steals_;

@@ -12,6 +12,7 @@
 #define UMANY_SCHED_QUEUE_SYSTEM_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -37,6 +38,18 @@ class ReadyList
 
     /** Pop the youngest entry (steal semantics; nullptr when empty). */
     ServiceRequest *popBack();
+
+    /** Order over requests for policy-directed dequeue. */
+    using KeyFn = std::function<std::int64_t(const ServiceRequest &)>;
+
+    /**
+     * Pop the entry minimizing @p key (ties break toward the oldest
+     * seq); nullptr when empty. O(n) scan — RQs are small (64).
+     */
+    ServiceRequest *popMinBy(const KeyFn &key);
+
+    /** Smallest @p key over the list (no pop); false when empty. */
+    bool minKey(const KeyFn &key, std::int64_t &out) const;
 
     bool empty() const { return entries_.empty(); }
     std::size_t size() const { return entries_.size(); }
@@ -119,6 +132,9 @@ class SwQueueSystem
 
     std::uint64_t ops() const { return ops_; }
     std::uint64_t steals() const { return steals_; }
+    /** Steal probes issued, successful or not (each pays
+     *  stealCycles — failed probes are real work too). */
+    std::uint64_t stealProbes() const { return stealProbes_; }
     Tick lockWaitTotal() const { return lockWait_; }
 
     /** Server id used as the pid of emitted trace events. */
@@ -140,6 +156,7 @@ class SwQueueSystem
 
     std::uint64_t ops_ = 0;
     std::uint64_t steals_ = 0;
+    std::uint64_t stealProbes_ = 0;
     Tick lockWait_ = 0;
 
     /** Serialize one op on queue @p q from @p now; returns done tick. */

@@ -132,6 +132,51 @@ collectStats(ClusterSim &sim)
               "responses arriving after their attempt timed out");
     }
 
+    // Dispatch-policy statistics exist only under a non-default
+    // policy (same golden-stability rule as the recovery block):
+    // --dispatch=rr keeps every pre-existing artifact byte-identical.
+    bool policyActive = false;
+    for (ServerId s = 0; s < sim.numServers(); ++s) {
+        policyActive = policyActive ||
+                       sim.machine(s).dispatchKind() !=
+                           DispatchKind::RoundRobin;
+    }
+    if (policyActive) {
+        std::uint64_t dispatches = 0;
+        std::uint64_t direct = 0;
+        std::uint64_t steals = 0;
+        std::uint64_t stealProbes = 0;
+        std::uint64_t nicProbes = 0;
+        std::uint64_t preempts = 0;
+        for (ServerId s = 0; s < sim.numServers(); ++s) {
+            Machine &m = sim.machine(s);
+            dispatches += m.schedDispatches();
+            direct += m.schedDirectDispatches();
+            steals += m.schedSteals();
+            stealProbes += m.schedStealProbes();
+            nicProbes += m.schedNicProbes();
+            preempts += m.schedPreemptions();
+        }
+        d.add("cluster.sched.dispatches",
+              static_cast<double>(dispatches),
+              "requests handed to a core (direct + stolen)");
+        d.add("cluster.sched.direct_dispatches",
+              static_cast<double>(direct),
+              "requests dequeued from their home village RQ");
+        d.add("cluster.sched.steals",
+              static_cast<double>(steals),
+              "requests stolen from a sibling village RQ");
+        d.add("cluster.sched.steal_probes",
+              static_cast<double>(stealProbes),
+              "sibling RQ probes, successful or not");
+        d.add("cluster.sched.nic_probes",
+              static_cast<double>(nicProbes),
+              "village depth probes issued by the NIC policy");
+        d.add("cluster.sched.preemptions",
+              static_cast<double>(preempts),
+              "slice-expiry preemptions (SLO policy)");
+    }
+
     for (ServerId s = 0; s < sim.numServers(); ++s) {
         Machine &m = sim.machine(s);
         const std::string base = strprintf("server%u.", s);
@@ -152,6 +197,23 @@ collectStats(ClusterSim &sim)
         d.add(base + "requests.rejected",
               static_cast<double>(m.rejectedRequests()),
               "service requests rejected on this machine");
+
+        // Per-machine dispatch-policy counters, gated like the
+        // cluster.sched.* block.
+        if (m.dispatchKind() != DispatchKind::RoundRobin) {
+            d.add(base + "sched.steals",
+                  static_cast<double>(m.schedSteals()),
+                  "requests this machine's cores stole");
+            d.add(base + "sched.steal_probes",
+                  static_cast<double>(m.schedStealProbes()),
+                  "sibling RQ probes paid for, hit or miss");
+            d.add(base + "sched.nic_probes",
+                  static_cast<double>(m.schedNicProbes()),
+                  "NIC depth probes for po2c/jsqd dispatch");
+            d.add(base + "sched.preemptions",
+                  static_cast<double>(m.schedPreemptions()),
+                  "SLO slice preemptions on this machine");
+        }
 
         const Network &net = m.network();
         d.add(base + "net.messages",

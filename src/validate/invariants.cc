@@ -135,6 +135,39 @@ InvariantChecker::onComplete(const ServiceRequest &req)
 }
 
 void
+InvariantChecker::onSteal(const ServiceRequest &req)
+{
+    countEvent();
+    ReqTrack *t = track(req, "steal");
+    if (t == nullptr)
+        return;
+    expect(t->phase == Ph::Queued,
+           "req %u: stolen while not queued (phase %u)", req.id(),
+           static_cast<unsigned>(t->phase));
+    // A steal relocates the queued entry between villages; the
+    // request is still queued and its enqueue/dequeue balance is
+    // untouched.
+    ++steals_;
+}
+
+void
+InvariantChecker::onPreempt(const ServiceRequest &req)
+{
+    countEvent();
+    ReqTrack *t = track(req, "preempt");
+    if (t == nullptr)
+        return;
+    expect(t->phase == Ph::Running,
+           "req %u: preempted while not running (phase %u)",
+           req.id(), static_cast<unsigned>(t->phase));
+    t->phase = Ph::Queued;
+    // The preempted request re-enters its queue: count the enqueue
+    // so the next dequeue keeps dequeues == enqueues.
+    t->enqueues += 1;
+    ++preemptions_;
+}
+
+void
 InvariantChecker::onReject(const ServiceRequest &req)
 {
     countEvent();

@@ -82,6 +82,59 @@ TEST(InvariantChecker, CleanRejectionLifecycle)
         << c.violations().front();
 }
 
+TEST(InvariantChecker, CleanStealLifecycle)
+{
+    // A steal relocates a queued entry between villages: the request
+    // stays Queued and its enqueue/dequeue balance is untouched, so
+    // the normal dequeue/complete path must still be legal after it.
+    SoftChecker c;
+    ServiceRequest req(9, 0, oneSegment());
+    c.onEnqueue(req);
+    c.onSteal(req);
+    c.onDequeue(req);
+    c.onComplete(req);
+    c.onDestroy(req);
+    EXPECT_TRUE(c.violations().empty())
+        << c.violations().front();
+    EXPECT_EQ(c.steals(), 1u);
+}
+
+TEST(InvariantChecker, StealWhileRunningFlagged)
+{
+    SoftChecker c;
+    ServiceRequest req(9, 0, oneSegment());
+    c.onEnqueue(req);
+    c.onDequeue(req);
+    c.onSteal(req); // only queued entries can be stolen
+    EXPECT_FALSE(c.violations().empty());
+}
+
+TEST(InvariantChecker, CleanPreemptLifecycle)
+{
+    // Preemption moves Running back to Queued and counts the
+    // re-enqueue, so dequeues == enqueues holds at completion.
+    SoftChecker c;
+    ServiceRequest req(11, 0, oneSegment());
+    c.onEnqueue(req);
+    c.onDequeue(req);
+    c.onPreempt(req);
+    c.onDequeue(req);
+    c.onComplete(req);
+    c.onDestroy(req);
+    EXPECT_TRUE(c.violations().empty())
+        << c.violations().front();
+    EXPECT_EQ(c.preemptions(), 1u);
+}
+
+TEST(InvariantChecker, PreemptWhileQueuedFlagged)
+{
+    SoftChecker c;
+    ServiceRequest req(11, 0, oneSegment());
+    c.onEnqueue(req);
+    c.onPreempt(req); // only running requests can be preempted
+    EXPECT_FALSE(c.violations().empty());
+}
+
 TEST(InvariantChecker, DoubleDequeueFlagged)
 {
     SoftChecker c;

@@ -19,9 +19,11 @@
 #include "arch/presets.hh"
 #include "driver/experiment.hh"
 #include "obs/simprof.hh"
+#include "sched/dispatch_policy.hh"
 #include "sim/event_queue.hh"
 #include "sim/shard.hh"
 #include "stats/stats_dump.hh"
+#include "validate/invariants.hh"
 #include "workload/app_graph.hh"
 #include "workload/loadgen.hh"
 
@@ -213,6 +215,50 @@ TEST(ShardExperiment, SerialShardCountIsTheLegacyKernel)
     StatsDump legacy;
     runExperiment(cat, cfg, &legacy);
     EXPECT_EQ(legacy.formatJson(), statsAtShards(1));
+}
+
+TEST(ShardExperiment, NonRoundRobinDispatchFallsBackToSerial)
+{
+    // Non-RR policies read cross-lane queue state (NIC depth probes,
+    // sibling-RQ steals, global laxity), so the eligibility gate
+    // must route them to the serial kernel.
+    ExperimentConfig cfg;
+    cfg.machine = smallMachine();
+    for (const DispatchKind kind :
+         {DispatchKind::Po2c, DispatchKind::Jsqd,
+          DispatchKind::Steal, DispatchKind::Slo}) {
+        cfg.machine.dispatch.kind = kind;
+        EXPECT_NE(shardBlockerReason(cfg, false, false), nullptr)
+            << "policy " << dispatchKindName(kind)
+            << " must not be shard-eligible";
+    }
+#if !UMANY_INVARIANTS_ENABLED
+    // In release builds the default policy stays eligible — the
+    // policy gate must not over-block. (Invariants builds block
+    // every config for their own reason.)
+    cfg.machine.dispatch.kind = DispatchKind::RoundRobin;
+    EXPECT_EQ(shardBlockerReason(cfg, false, false), nullptr);
+#endif
+
+    // And the fallback is semantic, not just advisory: a sharded
+    // non-RR run warns, runs serial, and produces stats
+    // byte-identical to the explicit serial run.
+    const ServiceCatalog cat = buildSocialNetwork();
+    auto statsFor = [&](std::uint32_t shards) {
+        ExperimentConfig run;
+        run.machine = smallMachine();
+        run.machine.dispatch.kind = DispatchKind::Po2c;
+        run.cluster.numServers = 2;
+        run.rpsPerServer = 4000.0;
+        run.warmup = fromMs(2.0);
+        run.measure = fromMs(20.0);
+        run.seed = 0x5eed;
+        run.shards = shards;
+        StatsDump stats;
+        runExperiment(cat, run, &stats);
+        return stats.formatJson();
+    };
+    EXPECT_EQ(statsFor(4), statsFor(1));
 }
 
 TEST(ShardTags, UnknownPartitionFractionIsNearZero)
