@@ -28,6 +28,7 @@
 #include "driver/qos.hh"
 #include "fault/fault_plan.hh"
 #include "obs/json.hh"
+#include "rack/rack_experiment.hh"
 #include "workload/synthetic.hh"
 
 using namespace umany;
@@ -248,6 +249,56 @@ figPolicyRaceSmall()
     return out;
 }
 
+/**
+ * Rack scale at small scale (ISSUE 9 tentpole): a 3-package rack
+ * under a one-package hard failure, with the LB's failover raced
+ * on vs off, plus the rr-vs-po2c replica-policy contrast on the
+ * healthy rack. Pins the whole rack layer end to end: placement,
+ * the inter-package fabric's latency/occupancy math, LB replica
+ * selection, package fault semantics, and the per-root PkgHop
+ * ledger charges that keep client-observed latencies summing.
+ */
+std::string
+figRackSmall()
+{
+    const ServiceCatalog catalog = buildSocialNetwork();
+    std::string out = "# fig_rack-small: 3-package rack (1 "
+                      "server/pkg, 5K RPS/server), 1 package "
+                      "failed, failover on/off + policy contrast\n";
+    const auto runCase = [&](const std::string &label,
+                             DispatchKind policy,
+                             std::uint32_t failed, bool failover) {
+        RackExperimentConfig cfg;
+        cfg.base = smallConfig(uManycoreParams(), 5000.0, 1);
+        cfg.rack.packages = 3;
+        cfg.rack.replica.kind = policy;
+        cfg.rack.failover = failover;
+        if (failed > 0) {
+            cfg.base.cluster.recovery.enabled = true;
+            cfg.base.faults = randomPackageFailures(
+                cfg.rack.packages, failed,
+                cfg.base.warmup + cfg.base.measure / 4,
+                cfg.base.seed);
+        }
+        StatsDump stats;
+        const RunMetrics m =
+            runRackExperiment(catalog, cfg, &stats);
+        std::string block = "== " + label + " ==\n";
+        block += metricsJson(m);
+        block += "\n";
+        block += stats.formatJson();
+        block += "\n";
+        return block;
+    };
+    out += runCase("healthy/rr", DispatchKind::RoundRobin, 0, true);
+    out += runCase("healthy/po2c", DispatchKind::Po2c, 0, true);
+    out += runCase("failed=1/failover=on", DispatchKind::Po2c, 1,
+                   true);
+    out += runCase("failed=1/failover=off", DispatchKind::Po2c, 1,
+                   false);
+    return out;
+}
+
 struct GoldenCase
 {
     const char *name;
@@ -261,6 +312,7 @@ const GoldenCase kCases[] = {
     {"fig_resilience-small", figResilienceSmall},
     {"fig_tail_attrib-small", figTailAttribSmall},
     {"fig_policy_race-small", figPolicyRaceSmall},
+    {"fig_rack-small", figRackSmall},
 };
 
 std::string

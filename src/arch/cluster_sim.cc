@@ -82,6 +82,8 @@ ClusterSim::~ClusterSim() = default;
 void
 ClusterSim::enableSharding(std::uint32_t lanes, Tick record_from)
 {
+    if (onRackRootDone)
+        fatal("rack-routed packages are serial-only (no sharding)");
     sharded_ = true;
     recordFrom_ = record_from;
     laneStores_.clear();
@@ -275,7 +277,7 @@ ClusterSim::makeRequest(ServiceId service, ServiceRequest *parent)
              laneNextId_[l]++;
         behavior = &laneBehaviorRng_[l];
     } else {
-        id = nextId_++;
+        id = p_.idBase + nextId_++;
     }
     auto req = std::make_unique<ServiceRequest>(
         id, service, catalog_.makeBehavior(service, *behavior));
@@ -338,16 +340,25 @@ ClusterSim::destroy(ServiceRequest *req)
 void
 ClusterSim::submitRoot(ServiceId endpoint)
 {
+    submitRoot(endpoint, 0);
+}
+
+void
+ClusterSim::submitRoot(ServiceId endpoint, std::uint64_t rack_ctx)
+{
     if (p_.recovery.enabled) {
         const std::uint64_t task_id = nextTask_++;
         RootTask &t = tasks_[task_id];
         t.endpoint = endpoint;
         t.firstSubmit = eq_.now();
+        t.rackCtx = rack_ctx;
         launchAttempt(task_id);
         return;
     }
 
     ServiceRequest *req = makeRequest(endpoint, nullptr);
+    if (rack_ctx != 0)
+        rackCtx_.emplace(req->id(), rack_ctx);
     req->rootEndpoint = endpoint;
     req->reqBytes = 512;
     req->respBytes = 2048;
@@ -432,6 +443,10 @@ ClusterSim::onAttemptTimeout(std::uint64_t task_id,
         UMANY_TRACE(TraceSink::active()->instant(
             eq_.now(), t.lastTarget, traceClientTrack,
             "recovery.giveup", task_id));
+        // A rack-routed root still owes the rack its context back
+        // (no response ever crosses the rack network on a give-up).
+        if (t.rackCtx != 0 && onRackRootDone)
+            onRackRootDone(nullptr, t.rackCtx, 0, false);
         tasks_.erase(it);
         return;
     }
@@ -486,7 +501,19 @@ ClusterSim::recoveredRootComplete(ServiceRequest *req)
 
     // Final word for this task: client-observed latency spans every
     // attempt and backoff wait, from the first submit.
-    const Tick latency = eq_.now() - t.firstSubmit;
+    Tick latency = eq_.now() - t.firstSubmit;
+    Tick hop = 0;
+    Tick clientStart = t.firstSubmit;
+    if (t.rackCtx != 0 && onRackRootDone) {
+        const RackRootInfo info =
+            onRackRootDone(req, t.rackCtx, latency, !req->rejected);
+        if (!req->rejected) {
+            latency = info.latency;
+            hop = info.hopTicks;
+            clientStart = info.clientStart;
+        }
+    }
+    const Tick first_submit = t.firstSubmit;
     const ServiceId ep = t.endpoint;
     if (recording_) {
         ++observedRoots_;
@@ -501,7 +528,9 @@ ClusterSim::recoveredRootComplete(ServiceRequest *req)
                 ++qosViolations_;
             UMANY_ATTRIB({
                 AttribRegistry *ar = AttribRegistry::active();
-                ar->noteRetryWait(*req, t.firstSubmit);
+                ar->noteRetryWait(*req, first_submit);
+                if (hop != 0)
+                    ar->noteInterPackageHop(*req, clientStart, hop);
                 ar->markRootObserved(*req, latency);
             });
         }
@@ -517,7 +546,27 @@ ClusterSim::handleRootComplete(ServerId, ServiceRequest *req)
         recoveredRootComplete(req);
         return;
     }
-    const Tick latency = eq_.now() - req->createdAt;
+    Tick latency = eq_.now() - req->createdAt;
+    Tick hop = 0;
+    Tick clientStart = req->createdAt;
+    // Rack-routed roots: let the rack layer account both inter-
+    // package hops and hand back the client-observed latency, so
+    // this package's histograms and ledger record what the rack's
+    // client saw, not the package-local view.
+    if (onRackRootDone && !rackCtx_.empty()) {
+        const auto it = rackCtx_.find(req->id());
+        if (it != rackCtx_.end()) {
+            const std::uint64_t ctx = it->second;
+            rackCtx_.erase(it);
+            const RackRootInfo info =
+                onRackRootDone(req, ctx, latency, !req->rejected);
+            if (!req->rejected) {
+                latency = info.latency;
+                hop = info.hopTicks;
+                clientStart = info.clientStart;
+            }
+        }
+    }
     if (recordingAt(eq_.now())) {
         ++observedRoots_;
         if (req->rejected) {
@@ -529,8 +578,12 @@ ClusterSim::handleRootComplete(ServerId, ServiceRequest *req)
             const Tick threshold = qosThreshold_[req->rootEndpoint];
             if (threshold != 0 && latency > threshold)
                 ++qosViolations_;
-            UMANY_ATTRIB(AttribRegistry::active()->markRootObserved(
-                *req, latency));
+            UMANY_ATTRIB({
+                AttribRegistry *ar = AttribRegistry::active();
+                if (hop != 0)
+                    ar->noteInterPackageHop(*req, clientStart, hop);
+                ar->markRootObserved(*req, latency);
+            });
         }
     }
     destroy(req);

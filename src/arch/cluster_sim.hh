@@ -10,6 +10,7 @@
 #ifndef UMANY_ARCH_CLUSTER_SIM_HH
 #define UMANY_ARCH_CLUSTER_SIM_HH
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -59,6 +60,13 @@ struct ClusterSimParams
     InterServerParams interServer; //!< numServers is overridden.
     RecoveryParams recovery;
     std::uint64_t seed = 0x5ca1ab1eull;
+    /**
+     * Offset added to every locally-assigned request id. RackSim
+     * gives each package a disjoint range so attribution records
+     * (keyed by request id in one shared registry) never collide
+     * across packages. 0 (the default) keeps the historical ids.
+     */
+    RequestId idBase = 0;
 };
 
 /** The simulated server cluster. */
@@ -78,6 +86,39 @@ class ClusterSim
      * servers), as the load generator's client would.
      */
     void submitRoot(ServiceId endpoint);
+
+    /** @name Rack integration (src/rack). @{ */
+    /**
+     * What the rack layer reports back when a root it routed
+     * resolves: the client-observed latency (package latency plus
+     * both inter-package hops), the hop ticks alone, and the tick
+     * the root arrived at the load balancer.
+     */
+    struct RackRootInfo
+    {
+        Tick latency = 0;
+        Tick hopTicks = 0;
+        Tick clientStart = 0;
+    };
+    /**
+     * Called exactly once per rack-routed root when it resolves
+     * (completion, rejection, or recovery give-up — @p req is null
+     * for a give-up). The package then records @p latency — not its
+     * local view — into its histograms and ledger, so merging
+     * package histograms yields client-observed rack latencies.
+     */
+    using RackRootFn = std::function<RackRootInfo(
+        ServiceRequest *req, std::uint64_t ctx, Tick pkg_latency,
+        bool completed)>;
+    RackRootFn onRackRootDone;
+    /**
+     * Rack-routed submit: like submitRoot(), with an opaque rack
+     * context (nonzero) passed back through onRackRootDone when the
+     * root resolves. Serial mode only (the rack layer is not
+     * sharded).
+     */
+    void submitRoot(ServiceId endpoint, std::uint64_t rack_ctx);
+    /** @} */
 
     /** Enable/disable latency recording (off during warmup). */
     void setRecording(bool on) { recording_ = on; }
@@ -165,9 +206,12 @@ class ClusterSim
         std::uint64_t generation = 0; //!< Bumped per launch/resolve.
         RequestId inFlight = 0;       //!< 0 while backing off.
         ServerId lastTarget = 0;
+        std::uint64_t rackCtx = 0;    //!< Rack routing context (0 = none).
     };
     std::unordered_map<std::uint64_t, RootTask> tasks_;
     std::unordered_map<RequestId, std::uint64_t> reqTask_;
+    /** Rack context of non-recovery roots (empty off the rack). */
+    std::unordered_map<RequestId, std::uint64_t> rackCtx_;
     std::uint64_t nextTask_ = 1;
     /** Lifecycle-conservation pair audited at finalCheck(). */
     std::uint64_t attemptsLaunched_ = 0;

@@ -27,6 +27,10 @@ faultKindName(FaultKind kind)
         return "village_up";
       case FaultKind::Corruption:
         return "corrupt";
+      case FaultKind::PackageDown:
+        return "package_down";
+      case FaultKind::PackageUp:
+        return "package_up";
     }
     return "?";
 }
@@ -40,7 +44,8 @@ kindFromName(const std::string &name, FaultKind &out)
     for (const FaultKind k :
          {FaultKind::LinkDown, FaultKind::LinkUp, FaultKind::NodeDown,
           FaultKind::VillageDown, FaultKind::VillageUp,
-          FaultKind::Corruption}) {
+          FaultKind::Corruption, FaultKind::PackageDown,
+          FaultKind::PackageUp}) {
         if (name == faultKindName(k)) {
             out = k;
             return true;
@@ -157,6 +162,20 @@ randomVillageFailures(std::uint32_t numVillages, std::uint32_t count,
     FaultPlan plan;
     for (const std::uint32_t v : pickDistinct(pool, count, rng))
         plan.add({at, FaultKind::VillageDown, server, v, 0.0});
+    return plan;
+}
+
+FaultPlan
+randomPackageFailures(std::uint32_t numPackages, std::uint32_t count,
+                      Tick at, std::uint64_t seed)
+{
+    std::vector<std::uint32_t> pool(numPackages);
+    for (std::uint32_t p = 0; p < numPackages; ++p)
+        pool[p] = p;
+    Rng rng(streamSeed(seed, rngstream::fault));
+    FaultPlan plan;
+    for (const std::uint32_t p : pickDistinct(pool, count, rng))
+        plan.add({at, FaultKind::PackageDown, invalidId, p, 0.0});
     return plan;
 }
 

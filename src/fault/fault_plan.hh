@@ -33,6 +33,8 @@ enum class FaultKind : std::uint8_t
     VillageDown, //!< target = VillageId; dispatch avoids it
     VillageUp,   //!< target = VillageId
     Corruption,  //!< prob = per-delivery corruption probability
+    PackageDown, //!< target = rack package id (rack plans only)
+    PackageUp,   //!< target = rack package id (rack plans only)
 };
 
 /** Printable name of @p kind (the parse() keyword). */
@@ -71,7 +73,9 @@ struct FaultPlan
      *   <time_us> <kind> <target> [server=<N>] [p=<prob>]
      *
      * where <kind> is one of link_down, link_up, node_down,
-     * village_down, village_up, corrupt. '#' starts a comment.
+     * village_down, village_up, corrupt, package_down, package_up
+     * (the package kinds apply to rack plans only).
+     * '#' starts a comment.
      * Malformed input is fatal (plans are trusted config).
      */
     static FaultPlan parse(const std::string &text);
@@ -102,6 +106,12 @@ FaultPlan randomVillageFailures(std::uint32_t numVillages,
                                 std::uint32_t count, Tick at,
                                 std::uint64_t seed,
                                 ServerId server = invalidId);
+
+/** Fail @p count distinct packages (of @p numPackages) at @p at
+ *  (rack plans only; see rack/rack_sim.hh). */
+FaultPlan randomPackageFailures(std::uint32_t numPackages,
+                                std::uint32_t count, Tick at,
+                                std::uint64_t seed);
 /** @} */
 
 } // namespace umany

@@ -29,6 +29,10 @@ traceName(FaultKind kind)
         return "fault.village_up";
       case FaultKind::Corruption:
         return "fault.corrupt";
+      case FaultKind::PackageDown:
+        return "fault.package_down";
+      case FaultKind::PackageUp:
+        return "fault.package_up";
     }
     return "fault.?";
 }
@@ -59,6 +63,9 @@ applyToMachine(Machine &m, ServerId s, const FaultEvent &e)
       case FaultKind::Corruption:
         m.armFaults().setCorruptProb(e.prob);
         break;
+      case FaultKind::PackageDown:
+      case FaultKind::PackageUp:
+        fatal("package faults target a RackSim, not a ClusterSim");
     }
     UMANY_TRACE(TraceSink::active()->instant(
         e.at, s, traceIcnTrack, traceName(e.kind), e.target,

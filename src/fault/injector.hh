@@ -16,6 +16,7 @@ namespace umany
 
 class ClusterSim;
 class EventQueue;
+class RackSim;
 
 class FaultInjector
 {
@@ -26,12 +27,29 @@ class FaultInjector
      * created now, and each event is scheduled on @p eq at its tick.
      * Scheduled callbacks are self-contained — the injector object
      * itself need not outlive the call.
+     *
+     * Package-level kinds (PackageDown/PackageUp) are rack-only and
+     * fatal here.
      */
     static void arm(EventQueue &eq, ClusterSim &sim,
                     const FaultPlan &plan);
 
     /** Apply one event to @p sim immediately (tests, REPL use). */
     static void applyNow(ClusterSim &sim, const FaultEvent &e);
+
+    /**
+     * Rack-level arming: package events mark the package down at the
+     * load balancer AND fail every village inside it (a hard package
+     * loss — in-flight work is shed, and recovery clients retrying
+     * into the dead package keep timing out); every other kind is
+     * forwarded to each package's ClusterSim, with `server` still
+     * selecting the server within each package.
+     */
+    static void arm(EventQueue &eq, RackSim &rack,
+                    const FaultPlan &plan);
+
+    /** Apply one event to @p rack immediately. */
+    static void applyNow(RackSim &rack, const FaultEvent &e);
 };
 
 } // namespace umany

@@ -436,6 +436,16 @@ Network::meanLinkUtilization() const
     return n ? total / static_cast<double>(n) : 0.0;
 }
 
+std::size_t
+Network::fabricLinkCount() const
+{
+    std::size_t n = 0;
+    for (const auto &link : topo_.links())
+        if (!link.access)
+            ++n;
+    return n;
+}
+
 double
 Network::maxLinkUtilization() const
 {

@@ -145,6 +145,14 @@ class Network : public SimObject
 
     /** Highest single-link utilization over the stats window. */
     double maxLinkUtilization() const;
+
+    /**
+     * Non-access (fabric) links in the topology — the population
+     * meanLinkUtilization() averages over. Aggregating utilization
+     * across networks of different sizes must weight each mean by
+     * this count.
+     */
+    std::size_t fabricLinkCount() const;
     /** @} */
 
     /**

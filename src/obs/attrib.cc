@@ -29,6 +29,7 @@ attribCompName(AttribComp c)
       case AttribComp::IcnOther: return "icn_other";
       case AttribComp::BlockedOnChild: return "blocked_on_child";
       case AttribComp::RetryBackoff: return "retry_backoff";
+      case AttribComp::PkgHop: return "pkg_hop";
     }
     return "unknown";
 }
@@ -118,12 +119,25 @@ AttribRegistry::noteRetryWait(ServiceRequest &req, Tick first_submit)
 }
 
 void
+AttribRegistry::noteInterPackageHop(ServiceRequest &req,
+                                    Tick client_start, Tick hop_ticks)
+{
+    AttribRecord *rec = req.attrib;
+    if (rec == nullptr || hop_ticks == 0)
+        return;
+    rec->startedAt = std::min(rec->startedAt, client_start);
+    rec->comp[static_cast<std::size_t>(AttribComp::PkgHop)] +=
+        hop_ticks;
+}
+
+void
 AttribRegistry::markRootObserved(ServiceRequest &req, Tick latency)
 {
     AttribRecord *rec = req.attrib;
     if (rec == nullptr)
         return;
     rec->observed = true;
+    rec->observedLatency = latency;
     const Tick total = rec->total();
     const Tick diff =
         total > latency ? total - latency : latency - total;
@@ -155,8 +169,9 @@ AttribRegistry::onDestroy(ServiceRequest &req, Tick now)
         const RecordLookup lookup = [this](RequestId id) {
             return find(id);
         };
-        profiler_->ingest(*rec, rec->resolvedAt - rec->startedAt,
-                          lookup);
+        // The client-observed latency, not resolvedAt - startedAt:
+        // at rack scale the egress hop extends past resolution.
+        profiler_->ingest(*rec, rec->observedLatency, lookup);
         rootsObserved_ += 1;
     }
     releaseTree(rec->id);

@@ -51,9 +51,10 @@ enum class AttribComp : std::uint8_t
     IcnOther,       //!< ICN residual: degraded delivery, retransmit.
     BlockedOnChild, //!< Blocked on child RPC / storage responses.
     RetryBackoff,   //!< Client-side retry wait before this attempt.
+    PkgHop,         //!< Inter-package network hops (rack scale).
 };
 
-inline constexpr std::size_t kNumAttribComps = 13;
+inline constexpr std::size_t kNumAttribComps = 14;
 
 /** Stable machine-readable name ("rq_wait", "icn_leaf", ...). */
 const char *attribCompName(AttribComp c);
@@ -87,6 +88,11 @@ struct AttribRecord
     Tick createdAt = 0;    //!< This attempt's creation.
     Tick resolvedAt = 0;   //!< When the issuer saw the resolution.
     Tick lastTs = 0;       //!< Checkpoint for the next charge.
+    /** Client-observed root latency (set by markRootObserved). At
+     *  rack scale this includes the egress hop, which lands after
+     *  the package resolves the request, so it is not derivable
+     *  from resolvedAt - startedAt. */
+    Tick observedLatency = 0;
     bool resolved = false;
     bool observed = false; //!< Root completed inside the window.
     std::array<Tick, kNumAttribComps> comp{};
@@ -140,6 +146,15 @@ class AttribRegistry
      * client-observed latency.
      */
     void noteRetryWait(ServiceRequest &req, Tick first_submit);
+    /**
+     * Account the inter-package hops of a rack-routed root: extends
+     * the ledger back to the load balancer's arrival tick
+     * @p client_start and charges @p hop_ticks (ingress + egress
+     * RackNet time) to PkgHop, so the ledger still sums to the
+     * client-observed latency at rack scale.
+     */
+    void noteInterPackageHop(ServiceRequest &req, Tick client_start,
+                             Tick hop_ticks);
     /**
      * Mark a root as completed inside the measurement window with
      * the client-observed latency; checks the ledger-sum invariant

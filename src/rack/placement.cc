@@ -1,0 +1,44 @@
+#include "rack/placement.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace umany
+{
+
+RackPlacement::RackPlacement(const ServiceCatalog &catalog,
+                             std::uint32_t packages,
+                             std::uint32_t replicas)
+    : packages_(packages), replicas_(replicas)
+{
+    if (packages_ == 0)
+        fatal("rack placement needs at least one package");
+    if (replicas_ == 0 || replicas_ > packages_)
+        replicas_ = packages_;
+    byEndpoint_.resize(catalog.size());
+    const std::vector<ServiceId> eps = catalog.endpoints();
+    for (std::size_t k = 0; k < eps.size(); ++k) {
+        std::vector<std::uint32_t> &on = byEndpoint_[eps[k]];
+        on.reserve(replicas_);
+        for (std::uint32_t j = 0; j < replicas_; ++j)
+            on.push_back(static_cast<std::uint32_t>(
+                (k + j) % packages_));
+        // Candidate lists are probed by index; keep them sorted so
+        // the policy's view is independent of the endpoint offset.
+        std::sort(on.begin(), on.end());
+    }
+}
+
+const std::vector<std::uint32_t> &
+RackPlacement::packagesFor(ServiceId ep) const
+{
+    if (static_cast<std::size_t>(ep) >= byEndpoint_.size() ||
+        byEndpoint_[ep].empty()) {
+        fatal("service %u is not a placed endpoint",
+              static_cast<unsigned>(ep));
+    }
+    return byEndpoint_[ep];
+}
+
+} // namespace umany

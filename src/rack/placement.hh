@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Cross-package service placement: which packages host a replica of
+ * each endpoint service. Deterministic (no RNG): endpoint k's
+ * replicas sit on packages (k + j) mod N for j in [0, R), so
+ * replicas spread evenly and every placement is reproducible from
+ * the catalog and the flag values alone.
+ */
+
+#ifndef UMANY_RACK_PLACEMENT_HH
+#define UMANY_RACK_PLACEMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/service.hh"
+
+namespace umany
+{
+
+/** Endpoint -> replica-package map for one rack. */
+class RackPlacement
+{
+  public:
+    /**
+     * @param replicas Replicas per endpoint; 0 (the default) means
+     * every package hosts every endpoint (full replication). Values
+     * above the package count are clamped.
+     */
+    RackPlacement(const ServiceCatalog &catalog,
+                  std::uint32_t packages, std::uint32_t replicas = 0);
+
+    /** Packages hosting a replica of endpoint @p ep (never empty). */
+    const std::vector<std::uint32_t> &packagesFor(ServiceId ep) const;
+
+    std::uint32_t packages() const { return packages_; }
+    std::uint32_t replicas() const { return replicas_; }
+
+  private:
+    std::uint32_t packages_;
+    std::uint32_t replicas_;
+    /** Indexed by ServiceId; empty for non-endpoint services. */
+    std::vector<std::vector<std::uint32_t>> byEndpoint_;
+};
+
+} // namespace umany
+
+#endif // UMANY_RACK_PLACEMENT_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Inter-package rack network: the fabric between μManycore packages
+ * and the rack's front-end load balancer.
+ *
+ * Two design points (selectable per run):
+ *  - Rdma: RDMA-class commodity rack fabric — microsecond-scale
+ *    one-way latency with a per-message host/NIC overhead at each
+ *    end (DMA setup, completion handling).
+ *  - NanoPu: a nanoPU-style NIC-to-core fast path (PAPERS.md): the
+ *    network feeds registers directly, collapsing the per-end
+ *    overhead to tens of nanoseconds and shaving the wire path.
+ *
+ * The model mirrors rpc/inter_server.hh: per-node ingress/egress
+ * bandwidth occupancy plus a fixed one-way latency, so a hot
+ * package's response link saturates before the fabric core does.
+ */
+
+#ifndef UMANY_RACK_RACK_NET_HH
+#define UMANY_RACK_RACK_NET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace umany
+{
+
+/** Which inter-package interconnect design point to model. */
+enum class RackNetKind : std::uint8_t
+{
+    Rdma,   //!< RDMA-class commodity fabric.
+    NanoPu, //!< nanoPU-style NIC-to-core fast path.
+};
+
+/** Parse "rdma|nanopu" (fatal on anything else). */
+RackNetKind parseRackNetKind(const std::string &name);
+
+/** Flag spelling of a rack-network kind. */
+const char *rackNetKindName(RackNetKind kind);
+
+/** Inter-package fabric parameters. */
+struct RackNetParams
+{
+    std::uint32_t numPackages = 2;
+    RackNetKind kind = RackNetKind::Rdma;
+    /** Wire + switch one-way propagation across the rack. */
+    Tick oneWayLatency = 1500 * tickPerNs;
+    /** Host/NIC processing charged once per message per end. */
+    Tick perEndOverhead = 500 * tickPerNs;
+    /** Per-node link bandwidth, GB/s. */
+    double linkGBs = 100.0;
+
+    /** The calibrated parameter set for @p kind (see EXPERIMENTS.md
+     *  "Rack scale" for the derivation). */
+    static RackNetParams forKind(RackNetKind kind,
+                                 std::uint32_t packages);
+};
+
+/**
+ * Bandwidth-occupied point-to-point rack fabric. Nodes
+ * 0..numPackages-1 are the packages; node numPackages (lbNode())
+ * is the front-end load balancer.
+ */
+class RackNet
+{
+  public:
+    explicit RackNet(const RackNetParams &p);
+
+    const RackNetParams &params() const { return p_; }
+
+    /** Node id of the front-end load balancer. */
+    std::uint32_t lbNode() const { return p_.numPackages; }
+
+    /**
+     * Deliver @p bytes from @p src to @p dst starting at @p now.
+     * @return Delivery tick at the destination (after the receive
+     *         end's overhead).
+     */
+    Tick send(std::uint32_t src, std::uint32_t dst,
+              std::uint32_t bytes, Tick now);
+
+    std::uint64_t messages() const { return messages_; }
+    std::uint64_t bytes() const { return bytes_; }
+
+  private:
+    RackNetParams p_;
+    std::vector<Tick> egressFree_;
+    std::vector<Tick> ingressFree_;
+    std::uint64_t messages_ = 0;
+    std::uint64_t bytes_ = 0;
+};
+
+} // namespace umany
+
+#endif // UMANY_RACK_RACK_NET_HH

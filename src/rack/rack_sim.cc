@@ -1,0 +1,292 @@
+#include "rack/rack_sim.hh"
+
+#include "sched/request.hh"
+#include "sim/logging.hh"
+#include "validate/invariants.hh"
+
+namespace umany
+{
+
+namespace
+{
+
+/** Root request/response sizes, matching ClusterSim's roots. */
+constexpr std::uint32_t kRootReqBytes = 512;
+constexpr std::uint32_t kRootRespBytes = 2048;
+
+} // namespace
+
+RackSim::RackSim(EventQueue &eq, const ServiceCatalog &catalog,
+                 const std::vector<MachineParams> &machines,
+                 const RackSimParams &p)
+    : eq_(eq), catalog_(catalog), p_(p)
+{
+    if (p_.packages == 0)
+        fatal("a rack needs at least one package");
+    if (machines.empty() ||
+        (machines.size() != 1 && machines.size() != p_.packages)) {
+        fatal("rack machine params: got %zu entries for %u packages "
+              "(want 1 or one per package)",
+              machines.size(), p_.packages);
+    }
+    switch (p_.replica.kind) {
+      case DispatchKind::RoundRobin:
+        break;
+      case DispatchKind::Po2c:
+      case DispatchKind::Jsqd:
+        policy_ = std::make_unique<NicDispatchPolicy>(
+            p_.replica,
+            streamSeed(p_.cluster.seed, rngstream::replica));
+        break;
+      case DispatchKind::Steal:
+      case DispatchKind::Slo:
+        fatal("replica policy must be rr, po2c, or jsqd (got %s)",
+              dispatchKindName(p_.replica.kind));
+    }
+
+    const bool racked = p_.packages > 1;
+    pkgs_.reserve(p_.packages);
+    for (std::uint32_t pkg = 0; pkg < p_.packages; ++pkg) {
+        ClusterSimParams cp = p_.cluster;
+        if (pkg > 0) {
+            // Per-package RNG streams and disjoint request-id
+            // ranges; package 0 keeps the configured seed and base
+            // so a 1-package rack is byte-identical to a bare
+            // ClusterSim.
+            cp.seed = streamSeed(p_.cluster.seed,
+                                 rngstream::package + pkg);
+        }
+        if (racked) {
+            // Below the parallel-DES lane bits (48); the rack layer
+            // is serial-only so they never combine anyway.
+            cp.idBase = static_cast<RequestId>(pkg) << 44;
+        }
+        const MachineParams &mp =
+            machines.size() == 1 ? machines[0] : machines[pkg];
+        pkgs_.push_back(std::make_unique<ClusterSim>(eq_, catalog_,
+                                                     mp, cp));
+        if (racked) {
+            pkgs_[pkg]->onRackRootDone =
+                [this, pkg](ServiceRequest *req, std::uint64_t ctx,
+                            Tick pkg_latency, bool completed) {
+                    return onRootDone(pkg, req, ctx, pkg_latency,
+                                      completed);
+                };
+        }
+    }
+    net_ = std::make_unique<RackNet>(
+        RackNetParams::forKind(p_.net, p_.packages));
+    placement_ = std::make_unique<RackPlacement>(
+        catalog_, p_.packages, p_.replicas);
+    alive_.assign(p_.packages, true);
+    inflight_.assign(p_.packages, 0);
+    lbDispatches_.assign(p_.packages, 0);
+    extPart_ = static_cast<std::uint16_t>(
+        pkgs_[0]->machine(0).numClusters());
+
+    if (racked) {
+        // The LB conserves its dispatch ledger: every routed root
+        // resolves exactly once, so no context (and no in-flight
+        // count) survives a clean drain.
+        UMANY_INVARIANT(InvariantChecker::active()->addFinalAuditor(
+            "rack.lb", [this](InvariantChecker &ic) {
+                ic.expect(ctxs_.empty(),
+                          "%zu rack roots still pending after drain",
+                          ctxs_.size());
+                std::uint64_t inflight = 0;
+                for (const std::uint64_t n : inflight_)
+                    inflight += n;
+                ic.expect(inflight == 0,
+                          "LB counts %llu roots in flight after "
+                          "drain",
+                          static_cast<unsigned long long>(inflight));
+            }));
+    }
+}
+
+RackSim::~RackSim() = default;
+
+void
+RackSim::setRecording(bool on)
+{
+    recording_ = on;
+    for (auto &pkg : pkgs_)
+        pkg->setRecording(on);
+}
+
+void
+RackSim::setQosThreshold(ServiceId endpoint, Tick threshold)
+{
+    for (auto &pkg : pkgs_)
+        pkg->setQosThreshold(endpoint, threshold);
+}
+
+void
+RackSim::setPackageDown(std::uint32_t pkg, bool down)
+{
+    if (pkg >= alive_.size())
+        fatal("package fault targets package %u of %zu", pkg,
+              alive_.size());
+    alive_[pkg] = !down;
+}
+
+void
+RackSim::submitRoot(ServiceId endpoint)
+{
+    if (pkgs_.size() == 1) {
+        // Rack layer disabled: forward synchronously, no context,
+        // no hops — byte-identical to a bare ClusterSim.
+        pkgs_[0]->submitRoot(endpoint);
+        return;
+    }
+
+    const std::vector<std::uint32_t> &placed =
+        placement_->packagesFor(endpoint);
+    const std::vector<std::uint32_t> *cands = &placed;
+    if (p_.failover) {
+        candScratch_.clear();
+        bool skipped = false;
+        for (const std::uint32_t pkg : placed) {
+            if (alive_[pkg])
+                candScratch_.push_back(pkg);
+            else
+                skipped = true;
+        }
+        if (candScratch_.empty()) {
+            // Every replica is down: the LB sheds the root at the
+            // front door (counted as an observed rejection).
+            if (recording_)
+                ++lbShedRoots_;
+            return;
+        }
+        if (skipped && recording_)
+            ++failovers_;
+        cands = &candScratch_;
+    }
+
+    std::uint32_t pkg;
+    if (policy_) {
+        // po2c/jsqd over the LB's own per-package in-flight counts
+        // (the occupancy signal a front-end actually has — it never
+        // sees inside a package).
+        pkg = policy_->pick(*cands, [this](VillageId v) {
+            return static_cast<std::size_t>(inflight_[v]);
+        });
+    } else {
+        pkg = (*cands)[rrCursor_++ % cands->size()];
+    }
+
+    ++lbDispatches_[pkg];
+    ++inflight_[pkg];
+    const Tick now = eq_.now();
+    const Tick arrive =
+        net_->send(net_->lbNode(), pkg, kRootReqBytes, now);
+    const std::uint64_t ctx = nextCtx_++;
+    ctxs_.emplace(ctx, PendingRoot{now, arrive, pkg, endpoint});
+    eq_.schedule(arrive, EvTag{EvSrc::NetExternal, extPart_},
+                 [this, pkg, endpoint, ctx]() {
+        pkgs_[pkg]->submitRoot(endpoint, ctx);
+    });
+}
+
+ClusterSim::RackRootInfo
+RackSim::onRootDone(std::uint32_t pkg, ServiceRequest *req,
+                    std::uint64_t ctx, Tick pkg_latency,
+                    bool completed)
+{
+    const auto it = ctxs_.find(ctx);
+    if (it == ctxs_.end())
+        panic("rack root resolved with unknown context %llu",
+              static_cast<unsigned long long>(ctx));
+    const PendingRoot pending = it->second;
+    ctxs_.erase(it);
+    if (pending.pkg != pkg)
+        panic("rack root for package %u resolved by package %u",
+              pending.pkg, pkg);
+    --inflight_[pkg];
+
+    ClusterSim::RackRootInfo info;
+    if (req == nullptr) {
+        // Recovery give-up: the client timed out; nothing crosses
+        // the rack network back.
+        return info;
+    }
+    const Tick now = eq_.now();
+    // The response crosses back to the LB (rejections answer too),
+    // occupying the package's egress link.
+    const Tick back =
+        net_->send(pkg, net_->lbNode(), kRootRespBytes, now);
+    const Tick ingress = pending.submitAt - pending.lbArrival;
+    const Tick egress = back - now;
+    info.hopTicks = ingress + egress;
+    info.latency = pkg_latency + info.hopTicks;
+    info.clientStart = pending.lbArrival;
+    if (completed && recording_)
+        pkgHopTicks_.add(info.hopTicks);
+    return info;
+}
+
+std::uint64_t
+RackSim::completedRoots() const
+{
+    std::uint64_t n = 0;
+    for (const auto &pkg : pkgs_)
+        n += pkg->completedRoots();
+    return n;
+}
+
+std::uint64_t
+RackSim::rejectedRoots() const
+{
+    std::uint64_t n = lbShedRoots_;
+    for (const auto &pkg : pkgs_)
+        n += pkg->rejectedRoots();
+    return n;
+}
+
+std::uint64_t
+RackSim::qosViolations() const
+{
+    std::uint64_t n = 0;
+    for (const auto &pkg : pkgs_)
+        n += pkg->qosViolations();
+    return n;
+}
+
+std::uint64_t
+RackSim::observedRoots() const
+{
+    std::uint64_t n = lbShedRoots_;
+    for (const auto &pkg : pkgs_)
+        n += pkg->observedRoots();
+    return n;
+}
+
+std::uint64_t
+RackSim::requestsInFlight() const
+{
+    std::uint64_t n = 0;
+    for (const auto &pkg : pkgs_)
+        n += pkg->requestsInFlight();
+    return n;
+}
+
+Histogram
+RackSim::allLatency() const
+{
+    Histogram all;
+    for (const auto &pkg : pkgs_)
+        all.merge(pkg->allLatency());
+    return all;
+}
+
+Histogram
+RackSim::endpointLatency(ServiceId endpoint) const
+{
+    Histogram all;
+    for (const auto &pkg : pkgs_)
+        all.merge(pkg->endpointLatency(endpoint));
+    return all;
+}
+
+} // namespace umany

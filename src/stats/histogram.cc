@@ -8,10 +8,12 @@
 namespace umany
 {
 
-Histogram::Histogram()
+Histogram::Histogram(int octaves)
 {
-    // 58 octaves above the exact range covers any 64-bit value.
-    counts_.assign(subBucketCount * 60, 0);
+    if (octaves < 1)
+        panic("histogram needs at least one octave (got %d)", octaves);
+    counts_.assign(subBucketCount * static_cast<std::size_t>(octaves),
+                   0);
 }
 
 std::size_t
@@ -95,6 +97,14 @@ Histogram::fractionAbove(std::uint64_t threshold) const
         return 0.0;
     const std::size_t cutoff = indexFor(threshold);
     std::uint64_t above = 0;
+    // Same convention as quantile(): samples report as their bucket's
+    // upper edge, so the threshold's own bucket counts iff the
+    // threshold lands strictly below that edge (mid-bucket). The old
+    // code skipped the cutoff bucket unconditionally, undercounting
+    // every above-threshold sample that shares a bucket with the
+    // threshold.
+    if (cutoff < counts_.size() && valueFor(cutoff) > threshold)
+        above += counts_[cutoff];
     for (std::size_t i = cutoff + 1; i < counts_.size(); ++i)
         above += counts_[i];
     return static_cast<double>(above) / static_cast<double>(count_);
@@ -105,7 +115,13 @@ Histogram::merge(const Histogram &other)
 {
     if (other.count_ == 0)
         return;
-    for (std::size_t i = 0; i < counts_.size(); ++i)
+    // Layouts share the sub-bucket geometry and differ only in octave
+    // count, so a shorter histogram is a prefix of a longer one: grow
+    // to the larger layout instead of indexing other.counts_ past its
+    // end (or silently dropping its tail buckets).
+    if (other.counts_.size() > counts_.size())
+        counts_.resize(other.counts_.size(), 0);
+    for (std::size_t i = 0; i < other.counts_.size(); ++i)
         counts_[i] += other.counts_[i];
     if (count_ == 0) {
         min_ = other.min_;

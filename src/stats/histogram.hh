@@ -22,7 +22,17 @@ namespace umany
 class Histogram
 {
   public:
-    Histogram();
+    /** Octaves above the exact range in the default layout; covers
+     *  any 64-bit value. */
+    static constexpr int defaultOctaves = 60;
+
+    /**
+     * @param octaves Log-bucket octaves above the exact sub-64
+     * range. Smaller layouts save memory when the value range is
+     * known (adding a value beyond the range is fatal); histograms
+     * of different octave counts merge fine (see merge()).
+     */
+    explicit Histogram(int octaves = defaultOctaves);
 
     /** Record one sample. */
     void add(std::uint64_t value);
@@ -55,10 +65,26 @@ class Histogram
     /** Convenience: 50th percentile. */
     std::uint64_t p50() const { return quantile(0.50); }
 
-    /** Fraction of samples strictly greater than @p threshold. */
+    /**
+     * Fraction of samples strictly greater than @p threshold.
+     *
+     * Bucket convention matches quantile(): every sample in a bucket
+     * reports as the bucket's upper-edge value. The bucket containing
+     * @p threshold therefore counts as above iff its upper edge is
+     * strictly greater than @p threshold (i.e. the threshold lands
+     * mid-bucket); a threshold exactly on a bucket's upper edge
+     * excludes that bucket. Values < 64 are bucketed exactly, so the
+     * result is exact there; above that it is correct to within one
+     * bucket (<= ~1.6% relative error on the threshold).
+     */
     double fractionAbove(std::uint64_t threshold) const;
 
-    /** Merge another histogram into this one. */
+    /**
+     * Merge another histogram into this one. Layouts may differ in
+     * octave count (see the constructor): this histogram grows to
+     * the larger of the two layouts, so no bucket of @p other is
+     * ever dropped or read out of range.
+     */
     void merge(const Histogram &other);
 
     /** Forget all samples. */

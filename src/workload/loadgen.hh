@@ -45,6 +45,16 @@ struct LoadGenParams
     std::vector<std::pair<double, double>> burstStates = {
         {0.5, 0.050}, {1.0, 0.065}, {1.6, 0.020}, {2.5, 0.007},
     };
+    /**
+     * Independent interleaved arrival processes, each at rps/streams
+     * from its own RNG (and, for Bursty, its own MMPP phase). One
+     * stream (the default, byte-identical to the seed behavior)
+     * models a single front-end whose bursts hit the whole fleet in
+     * phase; `streams = packages` models per-package front-ends with
+     * uncorrelated burst phases (rack scale). Total mean rate is
+     * `rps` either way.
+     */
+    std::uint32_t streams = 1;
 };
 
 /**
@@ -71,16 +81,18 @@ class LoadGenerator
     LoadGenParams p_;
     SubmitFn submit_;
     /** Independent streams: interarrival gaps vs endpoint picks, so
-     *  extra draws in one never shift the other (golden stability). */
-    Rng arrivalRng_;
+     *  extra draws in one never shift the other (golden stability).
+     *  One arrival RNG (and MMPP) per stream; the endpoint mix is
+     *  shared so the stream count never changes the mix draws. */
+    std::vector<Rng> arrivalRngs_;
     Rng pickRng_;
     std::vector<ServiceId> endpoints_;
     std::vector<double> cumWeight_;
     double totalWeight_ = 0.0;
     std::uint64_t generated_ = 0;
-    std::unique_ptr<Mmpp> mmpp_;
+    std::vector<std::unique_ptr<Mmpp>> mmpps_;
 
-    void scheduleNext(Tick from);
+    void scheduleNext(std::uint32_t stream, Tick from);
     ServiceId pickEndpoint();
 };
 

@@ -105,6 +105,111 @@ TEST(Histogram, FractionAbove)
     EXPECT_EQ(h.fractionAbove(1ull << 40), 0.0);
 }
 
+TEST(Histogram, FractionAboveIsExactBelow64)
+{
+    // Values < 64 land in exact single-value buckets, so the strict
+    // "fraction above" is exact there.
+    Histogram h;
+    for (std::uint64_t v = 0; v < 64; ++v)
+        h.add(v);
+    for (const std::uint64_t t : {0ull, 1ull, 31ull, 62ull, 63ull}) {
+        EXPECT_DOUBLE_EQ(h.fractionAbove(t),
+                         static_cast<double>(63 - t) / 64.0)
+            << "t=" << t;
+    }
+}
+
+TEST(Histogram, FractionAboveCountsThresholdsOwnBucket)
+{
+    // 1 << 20 starts a bucket of width 1 << 14; samples mid-bucket
+    // report as the bucket's upper edge, so any threshold below that
+    // edge must count them. The old code skipped the threshold's
+    // bucket unconditionally and reported 0 here.
+    const std::uint64_t base = 1ull << 20;
+    const std::uint64_t width = 1ull << 14;
+    Histogram h;
+    h.add(base + 100, 1000);
+    EXPECT_DOUBLE_EQ(h.fractionAbove(base), 1.0);
+    EXPECT_DOUBLE_EQ(h.fractionAbove(base + width / 2), 1.0);
+    // A threshold exactly on the bucket's upper edge excludes it
+    // (nothing is *strictly* above), matching quantile()'s
+    // upper-edge convention.
+    EXPECT_DOUBLE_EQ(h.fractionAbove(base + width - 1), 0.0);
+}
+
+TEST(Histogram, FractionAboveMatchesBruteForceConvention)
+{
+    // Reference: every sample reports as its bucket's upper edge
+    // (quantile()'s convention); fractionAbove(T) is the fraction of
+    // reported values strictly greater than T.
+    const auto upperEdge = [](std::uint64_t v) -> std::uint64_t {
+        if (v < 64)
+            return v;
+        int msb = 63;
+        while (((v >> msb) & 1ull) == 0)
+            --msb;
+        const std::uint64_t step = 1ull << (msb - 6);
+        return (v & ~(step - 1)) + step - 1;
+    };
+    Rng rng(99);
+    Histogram h;
+    std::vector<std::uint64_t> vals;
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t v = rng.below(1ull << 22);
+        vals.push_back(v);
+        h.add(v);
+    }
+    for (const std::uint64_t t :
+         {0ull, 63ull, 64ull, 1000ull, (1ull << 20) + 12345ull,
+          1ull << 21, (1ull << 22) + 1ull}) {
+        std::uint64_t above = 0;
+        for (const std::uint64_t v : vals)
+            above += upperEdge(v) > t ? 1 : 0;
+        EXPECT_DOUBLE_EQ(h.fractionAbove(t),
+                         static_cast<double>(above) / 5000.0)
+            << "t=" << t;
+    }
+}
+
+TEST(Histogram, MergeGrowsMismatchedLayouts)
+{
+    // A 3-octave layout only covers values < 128; merging a
+    // default-layout histogram with larger samples into it must grow
+    // the small layout instead of dropping buckets (or, worse,
+    // indexing past its own range).
+    Histogram small(3);
+    small.add(10, 100);
+    Histogram big;
+    big.add(1ull << 30, 50);
+
+    Histogram grown(3);
+    grown.merge(small);
+    grown.merge(big);
+    EXPECT_EQ(grown.count(), 150u);
+    EXPECT_EQ(grown.min(), 10u);
+    EXPECT_GE(grown.max(), 1ull << 30);
+    EXPECT_EQ(grown.p50(), 10u);
+    EXPECT_GE(grown.quantile(0.99), 1ull << 30);
+
+    // The other direction (small into large) was already safe; it
+    // must still agree sample-for-sample.
+    Histogram wide;
+    wide.merge(big);
+    wide.merge(small);
+    EXPECT_EQ(wide.count(), grown.count());
+    EXPECT_EQ(wide.p50(), grown.p50());
+    EXPECT_EQ(wide.quantile(0.999), grown.quantile(0.999));
+}
+
+TEST(Histogram, OctaveLayoutBoundsAreEnforced)
+{
+    // One octave holds exactly the 64 exact buckets.
+    Histogram tiny(1);
+    tiny.add(63);
+    EXPECT_EQ(tiny.count(), 1u);
+    EXPECT_EQ(tiny.quantile(1.0), 63u);
+}
+
 TEST(Histogram, MergeCombines)
 {
     Histogram a, b;
