@@ -80,7 +80,7 @@ struct BenchArgs
      *   --trace-capacity=N       TraceSink size in events
      *   --trace-filter=T[,..]    record only these tracks (village,
      *                            core, swq, dispatcher, nic, icn,
-     *                            counters, client)
+     *                            counters, client, lb, fabric)
      *   --attrib=1               per-request latency attribution
      *   --tail-profile=PATH      tail-profile JSON (implies attrib)
      *   --metrics-out=PATH       OpenMetrics text artifact

@@ -46,6 +46,8 @@ ClusterSim::ClusterSim(EventQueue &eq, const ServiceCatalog &catalog,
         servers_.push_back(std::make_unique<Server>(
             eq, s, machine, p_.storage,
             streamSeed(p_.seed, rngstream::server + s)));
+        if (p_.tracePidBase != 0)
+            servers_[s]->machine().setTracePidBase(p_.tracePidBase);
         wireServer(s);
     }
     placeInstances();
@@ -364,7 +366,16 @@ ClusterSim::submitRoot(ServiceId endpoint, std::uint64_t rack_ctx)
     req->respBytes = 2048;
 
     const ServerId target = rrServer_++ % servers_.size();
-    UMANY_TRACE(traceReqCreated(eq_.now(), *req, target));
+    UMANY_TRACE({
+        traceReqCreated(eq_.now(), *req, target, p_.tracePidBase);
+        if (rack_ctx != 0) {
+            // Terminate the LB's dispatch arrow on the root's first
+            // span inside this package.
+            TraceSink::active()->flowEnd(
+                eq_.now(), p_.tracePidBase + target, 0, "rack.req",
+                traceRackReqFlowBit | rack_ctx);
+        }
+    });
     const Tick arrive =
         eq_.now() +
         servers_[target]->machine().topNic().params().extLatency;
@@ -395,7 +406,14 @@ ClusterSim::launchAttempt(std::uint64_t task_id)
     // timed out.
     const ServerId target = rrServer_++ % servers_.size();
     t.lastTarget = target;
-    UMANY_TRACE(traceReqCreated(eq_.now(), *req, target));
+    UMANY_TRACE({
+        traceReqCreated(eq_.now(), *req, target, p_.tracePidBase);
+        if (t.rackCtx != 0 && t.attempt == 1) {
+            TraceSink::active()->flowEnd(
+                eq_.now(), p_.tracePidBase + target, 0, "rack.req",
+                traceRackReqFlowBit | t.rackCtx);
+        }
+    });
     const Tick arrive =
         eq_.now() +
         servers_[target]->machine().topNic().params().extLatency;
@@ -424,7 +442,7 @@ ClusterSim::onAttemptTimeout(std::uint64_t task_id,
     if (recording_)
         ++timeouts_;
     UMANY_TRACE(TraceSink::active()->instant(
-        eq_.now(), t.lastTarget, traceClientTrack,
+        eq_.now(), p_.tracePidBase + t.lastTarget, traceClientTrack,
         "recovery.timeout", task_id));
 
     // Abandon the in-flight attempt: sever the mapping so its
@@ -441,7 +459,7 @@ ClusterSim::onAttemptTimeout(std::uint64_t task_id,
             ++shedRoots_;
         }
         UMANY_TRACE(TraceSink::active()->instant(
-            eq_.now(), t.lastTarget, traceClientTrack,
+            eq_.now(), p_.tracePidBase + t.lastTarget, traceClientTrack,
             "recovery.giveup", task_id));
         // A rack-routed root still owes the rack its context back
         // (no response ever crosses the rack network on a give-up).
@@ -462,7 +480,7 @@ ClusterSim::scheduleRetry(std::uint64_t task_id)
     const std::uint64_t gen = ++t.generation;
     const Tick delay = p_.recovery.backoffDelay(t.attempt);
     UMANY_TRACE(TraceSink::active()->instant(
-        eq_.now(), t.lastTarget, traceClientTrack, "recovery.retry",
+        eq_.now(), p_.tracePidBase + t.lastTarget, traceClientTrack, "recovery.retry",
         task_id, static_cast<double>(t.attempt)));
     eq_.schedule(eq_.now() + delay, evTagExt(EvSrc::ClientRetry),
                  [this, task_id, gen]() {
@@ -625,7 +643,8 @@ ClusterSim::handleServiceCall(ServerId s, ServiceRequest *parent,
     ServiceRequest *child = makeRequest(step.callee, parent);
     child->reqBytes = step.requestBytes;
     child->respBytes = step.responseBytes;
-    UMANY_TRACE(traceReqCreated(eq_.now(), *child, target));
+    UMANY_TRACE(traceReqCreated(eq_.now(), *child, target,
+                                p_.tracePidBase));
 
     Machine &src = servers_[s]->machine();
     if (target == s) {

@@ -67,6 +67,13 @@ struct ClusterSimParams
      * across packages. 0 (the default) keeps the historical ids.
      */
     RequestId idBase = 0;
+    /**
+     * Offset added to every trace pid this cluster emits. RackSim
+     * gives package N the pid block [N*numServers, (N+1)*numServers)
+     * so one merged Chrome trace keeps per-package server processes
+     * distinct. 0 (the default) keeps the historical flat pids.
+     */
+    std::uint32_t tracePidBase = 0;
 };
 
 /** The simulated server cluster. */

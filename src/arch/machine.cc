@@ -237,6 +237,21 @@ Machine::buildStructure()
     stealCursor_.assign(num_villages, 0);
 }
 
+void
+Machine::setTracePidBase(std::uint32_t base)
+{
+    // Re-seat every sub-component's trace pid: rack runs give each
+    // package a disjoint pid block so one merged trace keeps servers
+    // from different packages apart.
+    tracePidBase_ = base;
+    net_->setTracePid(tracePid());
+    if (swq_)
+        swq_->setTracePid(tracePid());
+    if (dispatcher_)
+        dispatcher_->setTracePid(tracePid());
+    topNic_->setTracePid(tracePid());
+}
+
 VillageId
 Machine::villageOfCore(CoreId c) const
 {
@@ -575,7 +590,7 @@ Machine::shedRequest(ServiceRequest *req, Tick ready_at)
     req->server = self_;
     UMANY_INVARIANT(InvariantChecker::active()->onReject(*req));
     UMANY_TRACE(TraceSink::active()->instant(
-        curTick(), self_, traceNicTrack, "nic.shed", req->id()));
+        curTick(), tracePid(), traceNicTrack, "nic.shed", req->id()));
     // The error response bounces straight from the NIC — the request
     // never crossed the ICN, so the response does not either.
     req->respBytes = 128;
@@ -636,7 +651,8 @@ Machine::enqueueFresh(ServiceRequest *req)
     UMANY_ATTRIB(AttribRegistry::active()->charge(
         *req, AttribComp::NicDispatch, curTick()));
     UMANY_TRACE(traceReqTransition(curTick(), *req,
-                                   ReqState::Queued));
+                                   ReqState::Queued,
+                                   tracePidBase_));
     req->state = ReqState::Queued;
     req->enqueuedAt = curTick();
     UMANY_INVARIANT(InvariantChecker::active()->onEnqueue(*req));
@@ -670,7 +686,8 @@ Machine::reEnqueue(ServiceRequest *req)
     UMANY_ATTRIB(AttribRegistry::active()->charge(
         *req, AttribComp::CtxSwitch, curTick()));
     UMANY_TRACE(traceReqTransition(curTick(), *req,
-                                   ReqState::Ready));
+                                   ReqState::Ready,
+                                   tracePidBase_));
     req->state = ReqState::Ready;
     req->enqueuedAt = curTick();
     UMANY_INVARIANT(InvariantChecker::active()->onEnqueue(*req));
@@ -794,8 +811,8 @@ Machine::trySteal(CoreId core, Tick &done)
             UMANY_INVARIANT(
                 InvariantChecker::active()->onSteal(*req));
             UMANY_TRACE(TraceSink::active()->instant(
-                curTick(), self_, traceCoreTrack(core), "rq.steal",
-                req->id()));
+                curTick(), tracePid(), traceCoreTrack(core),
+                "rq.steal", req->id()));
             return req;
         }
     }
@@ -817,7 +834,8 @@ Machine::startRun(CoreId core, ServiceRequest *req, Tick ready_at,
     UMANY_ATTRIB(AttribRegistry::active()->charge(
         *req, AttribComp::RqWait, curTick()));
     UMANY_TRACE(traceReqTransition(curTick(), *req,
-                                   ReqState::Running));
+                                   ReqState::Running,
+                                   tracePidBase_));
     req->state = ReqState::Running;
     UMANY_INVARIANT(InvariantChecker::active()->onDequeue(*req));
 
@@ -830,8 +848,8 @@ Machine::startRun(CoreId core, ServiceRequest *req, Tick ready_at,
         req->contextSwitches += 1;
         cores_[core].countSwitch();
         UMANY_TRACE(TraceSink::active()->instant(
-            curTick(), self_, traceCoreTrack(core), "cs.restore",
-            req->id()));
+            curTick(), tracePid(), traceCoreTrack(core),
+            "cs.restore", req->id()));
     }
     UMANY_ATTRIB(AttribRegistry::active()->charge(
         *req, AttribComp::CtxSwitch, t));
@@ -912,9 +930,9 @@ Machine::runSegment(CoreId core, ServiceRequest *req)
     // The on-core execution window, on the core's own track.
     UMANY_TRACE({
         TraceSink *s = TraceSink::active();
-        s->durBegin(curTick(), self_, traceCoreTrack(core),
+        s->durBegin(curTick(), tracePid(), traceCoreTrack(core),
                     "segment", req->id());
-        s->durEnd(curTick() + dur, self_, traceCoreTrack(core),
+        s->durEnd(curTick() + dur, tracePid(), traceCoreTrack(core),
                   "segment", req->id());
     });
 
@@ -981,8 +999,9 @@ Machine::sliceDone(CoreId core, ServiceRequest *req, Tick slice_ref)
     req->contextSwitches += 1;
     cores_[core].countSwitch();
     UMANY_TRACE({
-        traceReqTransition(curTick(), *req, ReqState::Ready);
-        TraceSink::active()->instant(curTick(), self_,
+        traceReqTransition(curTick(), *req, ReqState::Ready,
+                           tracePidBase_);
+        TraceSink::active()->instant(curTick(), tracePid(),
                                      traceCoreTrack(core),
                                      "cs.preempt", req->id());
     });
@@ -1023,8 +1042,9 @@ Machine::segmentDone(CoreId core, ServiceRequest *req)
     // Block on the next call group.
     const CallGroup &group = req->behavior().groups[req->segIndex];
     UMANY_TRACE({
-        traceReqTransition(curTick(), *req, ReqState::Blocked);
-        TraceSink::active()->instant(curTick(), self_,
+        traceReqTransition(curTick(), *req, ReqState::Blocked,
+                           tracePidBase_);
+        TraceSink::active()->instant(curTick(), tracePid(),
                                      traceCoreTrack(core),
                                      "cs.save", req->id());
     });
@@ -1096,7 +1116,8 @@ void
 Machine::finishRequest(ServiceRequest *req, VillageId v)
 {
     UMANY_TRACE(traceReqTransition(curTick(), *req,
-                                   ReqState::Finished));
+                                   ReqState::Finished,
+                                   tracePidBase_));
     req->state = ReqState::Finished;
     req->finishedAt = curTick();
     UMANY_INVARIANT(InvariantChecker::active()->onComplete(*req));
@@ -1277,7 +1298,8 @@ Machine::rejectRequest(ServiceRequest *req)
         ++rejected_;
     req->rejected = true;
     UMANY_TRACE(traceReqTransition(curTick(), *req,
-                                   ReqState::Rejected));
+                                   ReqState::Rejected,
+                                   tracePidBase_));
     req->state = ReqState::Rejected;
     req->finishedAt = curTick();
     UMANY_INVARIANT(InvariantChecker::active()->onReject(*req));

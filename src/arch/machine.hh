@@ -216,6 +216,16 @@ class Machine : public SimObject
     /** @name Introspection and statistics @{ */
     const MachineParams &params() const { return p_; }
     ServerId serverId() const { return self_; }
+    /**
+     * Offset every trace pid this machine (and its sub-components)
+     * emits: rack runs give package p's servers the pid block
+     * [base, base + numServers), so packages trace into disjoint
+     * namespaces of one shared sink. Zero (the default) keeps the
+     * flat single-package pids byte-identical.
+     */
+    void setTracePidBase(std::uint32_t base);
+    /** The pid this server's trace events carry. */
+    std::uint32_t tracePid() const { return tracePidBase_ + self_; }
     std::uint32_t numVillages() const
     {
         return static_cast<std::uint32_t>(villages_.size());
@@ -284,6 +294,7 @@ class Machine : public SimObject
   private:
     MachineParams p_;
     ServerId self_;
+    std::uint32_t tracePidBase_ = 0;
     std::uint64_t seed_;
     /** Coherence-traffic destination picks; the network, software
      *  queue system, and RNIC each get their own salted stream so

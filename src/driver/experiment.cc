@@ -148,6 +148,11 @@ printRunSummary(ClusterSim &sim, const EventQueue &eq, bool drained,
                      sink->dropped() > 0
                          ? " (truncated; raise trace capacity)"
                          : "");
+        if (sink->dropped() > 0) {
+            std::fprintf(stderr,
+                         "[run-summary] trace drops by track: %s\n",
+                         traceDropBreakdown(*sink).c_str());
+        }
     }
     if (sampler != nullptr) {
         std::fprintf(stderr, "[run-summary] sampler: %zu samples\n",

@@ -38,7 +38,7 @@ traceName(FaultKind kind)
 }
 
 void
-applyToMachine(Machine &m, ServerId s, const FaultEvent &e)
+applyToMachine(Machine &m, ServerId, const FaultEvent &e)
 {
     switch (e.kind) {
       case FaultKind::LinkDown:
@@ -68,8 +68,8 @@ applyToMachine(Machine &m, ServerId s, const FaultEvent &e)
         fatal("package faults target a RackSim, not a ClusterSim");
     }
     UMANY_TRACE(TraceSink::active()->instant(
-        e.at, s, traceIcnTrack, traceName(e.kind), e.target,
-        e.prob));
+        e.at, m.tracePid(), traceIcnTrack, traceName(e.kind),
+        e.target, e.prob));
 }
 
 /** Whether @p kind needs a FaultState (vs ServiceMap liveness). */

@@ -37,8 +37,32 @@ trackName(std::uint64_t tid)
         return "counters";
     if (tid == traceClientTrack)
         return "client";
+    if (tid == traceLbTrack)
+        return "lb";
+    if (tid == traceFabricTrack)
+        return "fabric";
     return strprintf("village %llu",
                      static_cast<unsigned long long>(tid));
+}
+
+/**
+ * Process name for @p pid. Flat sinks keep the historical
+ * "serverN"; a sink with a pid namespace (rack runs) names package
+ * blocks "pkgN.serverM" and the rack-substrate pid "rack", so one
+ * merged Perfetto view groups every package's servers and the LB/
+ * fabric tracks under readable processes.
+ */
+std::string
+processName(const TraceSink &sink, std::uint32_t pid)
+{
+    const std::uint32_t stride = sink.pidStride();
+    if (stride == 0)
+        return strprintf("server%u", pid);
+    if (pid < stride * sink.pidPackages()) {
+        return strprintf("pkg%u.server%u", pid / stride,
+                         pid % stride);
+    }
+    return "rack";
 }
 
 const char *
@@ -134,7 +158,7 @@ chromeTraceJson(const TraceSink &sink)
         w.key("ph").value("M");
         w.key("pid").value(static_cast<std::uint64_t>(pid));
         w.key("args").beginObject();
-        w.key("name").value(strprintf("server%u", pid));
+        w.key("name").value(processName(sink, pid));
         w.endObject();
         w.endObject();
     }

@@ -157,6 +157,21 @@ TailProfiler::rankedTail(ServiceId ep) const
     return ranked;
 }
 
+std::map<std::uint64_t, std::array<Tick, kNumAttribComps>>
+TailProfiler::groupedTail(
+    const std::function<std::uint64_t(RequestId)> &group) const
+{
+    std::map<std::uint64_t, std::array<Tick, kNumAttribComps>> out;
+    for (const auto &[ep, prof] : endpoints_) {
+        for (const TailCapture &cap : prof.captures) {
+            auto &total = out[group(cap.id)];
+            for (std::size_t i = 0; i < kNumAttribComps; ++i)
+                total[i] += cap.path.comp[i];
+        }
+    }
+    return out;
+}
+
 std::string
 TailProfiler::reportText(const ServiceNamer &name) const
 {
@@ -209,7 +224,9 @@ TailProfiler::reportText(const ServiceNamer &name) const
 }
 
 std::string
-TailProfiler::toJson(const ServiceNamer &name) const
+TailProfiler::toJson(const ServiceNamer &name,
+                     const std::string &extra_key,
+                     const std::string &extra_raw) const
 {
     JsonWriter w;
     w.beginObject();
@@ -300,6 +317,8 @@ TailProfiler::toJson(const ServiceNamer &name) const
         w.endObject();
     }
     w.endArray();
+    if (!extra_key.empty())
+        w.key(extra_key).raw(extra_raw);
     w.endObject();
     return w.str();
 }

@@ -14,6 +14,7 @@
 #ifndef UMANY_OBS_TAIL_PROFILER_HH
 #define UMANY_OBS_TAIL_PROFILER_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -84,11 +85,28 @@ class TailProfiler
     std::vector<std::pair<AttribComp, Tick>>
     rankedTail(ServiceId ep = invalidId) const;
 
+    /**
+     * Component totals over the retained tail captures, bucketed by
+     * @p group of each capture's root id. Rack runs group by the
+     * package encoded in the id (id >> 44) to answer "which package
+     * and which ledger component is slow".
+     */
+    std::map<std::uint64_t, std::array<Tick, kNumAttribComps>>
+    groupedTail(
+        const std::function<std::uint64_t(RequestId)> &group) const;
+
     /** Human-readable ranked report. */
     std::string reportText(const ServiceNamer &name) const;
 
-    /** Machine-readable tail profile (schema in EXPERIMENTS.md). */
-    std::string toJson(const ServiceNamer &name) const;
+    /**
+     * Machine-readable tail profile (schema in EXPERIMENTS.md).
+     * When @p extra_key is non-empty, @p extra_raw (a pre-rendered
+     * JSON value) is spliced into the top-level object under that
+     * key — the rack runner adds its per-package ranking here.
+     */
+    std::string toJson(const ServiceNamer &name,
+                       const std::string &extra_key = "",
+                       const std::string &extra_raw = "") const;
 
   private:
     std::size_t topK_;

@@ -24,6 +24,7 @@
 #ifndef UMANY_OBS_TRACE_HH
 #define UMANY_OBS_TRACE_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -103,6 +104,23 @@ constexpr std::uint64_t traceCounterTrack = 0x300003;
 /** Client-side (load generator) recovery events: timeouts,
  *  retries, give-ups. The pid is the server the attempt targeted. */
 constexpr std::uint64_t traceClientTrack = 0x300004;
+/** Rack-scale tracks (src/rack), emitted on the rack pid: the
+ *  front-end load balancer (replica selection, sheds, failovers,
+ *  per-root lb.root spans) and the inter-package fabric (per-hop
+ *  fabric.req / fabric.resp occupancy spans). */
+constexpr std::uint64_t traceLbTrack = 0x300005;
+constexpr std::uint64_t traceFabricTrack = 0x300006;
+
+/**
+ * Flow-id namespaces for the rack's cross-package stitches. The LB
+ * keys each root's request-direction arrow (LB -> chosen package)
+ * and response-direction arrow (package -> LB) by its rack context
+ * id, tagged with a direction bit well above any context value so
+ * neither collides with the per-request "rpc" flows inside a
+ * package.
+ */
+constexpr std::uint64_t traceRackReqFlowBit = 1ull << 63;
+constexpr std::uint64_t traceRackRespFlowBit = 1ull << 62;
 
 constexpr std::uint64_t
 traceVillageTrack(VillageId v)
@@ -138,7 +156,12 @@ constexpr std::uint32_t traceTrackNic = 1u << 4;
 constexpr std::uint32_t traceTrackIcn = 1u << 5;
 constexpr std::uint32_t traceTrackCounters = 1u << 6;
 constexpr std::uint32_t traceTrackClient = 1u << 7;
+constexpr std::uint32_t traceTrackLb = 1u << 8;
+constexpr std::uint32_t traceTrackFabric = 1u << 9;
 constexpr std::uint32_t traceTrackAll = ~0u;
+
+/** Number of distinct track categories (bits 0..N-1 above). */
+constexpr std::size_t traceNumCategories = 10;
 
 /** Category bit of a track id (see the conventions above). */
 constexpr std::uint32_t
@@ -160,17 +183,47 @@ traceTrackCategory(std::uint64_t tid)
         return traceTrackCounters;
     if (tid == traceClientTrack)
         return traceTrackClient;
+    if (tid == traceLbTrack)
+        return traceTrackLb;
+    if (tid == traceFabricTrack)
+        return traceTrackFabric;
     return traceTrackVillage;
 }
+
+/** Index of a category bit (0..traceNumCategories-1). */
+constexpr std::size_t
+traceCategoryIndex(std::uint32_t category_bit)
+{
+    std::size_t i = 0;
+    while (i + 1 < traceNumCategories &&
+           (category_bit & (1u << i)) == 0) {
+        ++i;
+    }
+    return i;
+}
+
+/** Filter-token spelling of the category at @p index. */
+const char *traceCategoryName(std::size_t index);
 
 /**
  * Parse a comma-separated track list ("village,core,icn") into a
  * filter mask. Accepted tokens: village, core, swq, dispatcher,
- * nic, icn (alias: net), counters, client, all. Unknown tokens
- * warn and are ignored; an empty spec means "all".
+ * nic, icn (alias: net), counters, client, lb, fabric, all.
+ * Unknown tokens (typos) warn with the valid-token list and are
+ * ignored; if nothing valid remains the filter falls back to "all"
+ * rather than silently recording nothing.
  */
 std::uint32_t parseTraceFilter(const std::string &spec);
 /** @} */
+
+class TraceSink;
+
+/**
+ * One-line "track 12, other 3" rendering of a sink's per-track drop
+ * counters (empty when nothing was dropped) — the run-summary's
+ * diagnosis of WHERE a truncated trace lost events.
+ */
+std::string traceDropBreakdown(const TraceSink &sink);
 
 /**
  * The bounded event buffer.
@@ -193,10 +246,12 @@ class TraceSink
     void
     record(const TraceEvent &e)
     {
-        if ((filter_ & traceTrackCategory(e.tid)) == 0)
+        const std::uint32_t cat = traceTrackCategory(e.tid);
+        if ((filter_ & cat) == 0)
             return;
         if (buf_.size() >= cap_) {
             ++dropped_;
+            ++droppedByCat_[traceCategoryIndex(cat)];
             return;
         }
         buf_.push_back(e);
@@ -269,6 +324,14 @@ class TraceSink
     std::size_t capacity() const { return cap_; }
     /** Events rejected because the buffer was full. */
     std::uint64_t dropped() const { return dropped_; }
+    /** Overflow drops broken down by track category (indexed by
+     *  traceCategoryIndex; names via traceCategoryName) so a
+     *  truncated trace says WHICH tracks it lost. */
+    const std::array<std::uint64_t, traceNumCategories> &
+    droppedByCategory() const
+    {
+        return droppedByCat_;
+    }
     /** Events accepted into the buffer. */
     std::uint64_t recorded() const { return buf_.size(); }
     /** @} */
@@ -279,6 +342,26 @@ class TraceSink
     /** @name Track filter (default: record everything) @{ */
     void setFilter(std::uint32_t mask) { filter_ = mask; }
     std::uint32_t filter() const { return filter_; }
+    /** @} */
+
+    /**
+     * @name Pid namespace (rack runs)
+     * A flat sink names process @c pid "serverN". Rack runs carve
+     * the pid space into per-package blocks of @p stride servers
+     * (pid = pkg * stride + server, named "pkgN.serverM") with one
+     * extra pid at stride * packages for the rack substrate (the LB
+     * and fabric tracks, named "rack"). Zero stride (the default)
+     * keeps the flat namespace and its exporter bytes.
+     * @{
+     */
+    void
+    setPidNamespace(std::uint32_t stride, std::uint32_t packages)
+    {
+        pidStride_ = stride;
+        pidPackages_ = packages;
+    }
+    std::uint32_t pidStride() const { return pidStride_; }
+    std::uint32_t pidPackages() const { return pidPackages_; }
     /** @} */
 
     /** @name The installed (active) sink @{ */
@@ -295,7 +378,10 @@ class TraceSink
     std::vector<TraceEvent> buf_;
     std::size_t cap_;
     std::uint64_t dropped_ = 0;
+    std::array<std::uint64_t, traceNumCategories> droppedByCat_{};
     std::uint32_t filter_ = traceTrackAll;
+    std::uint32_t pidStride_ = 0;
+    std::uint32_t pidPackages_ = 0;
 
     static thread_local TraceSink *active_;
 };
@@ -329,18 +415,22 @@ class ScopedTrace
  * @{
  */
 
-/** The request was created and bound to server @p pid. */
+/**
+ * The request was created and bound to server @p pid (a
+ * package-local server id; @p pid_base shifts it — and the parent's
+ * flow-arrow pid — into the owning package's pid block on racks).
+ */
 void traceReqCreated(Tick ts, const ServiceRequest &req,
-                     std::uint32_t pid);
+                     std::uint32_t pid, std::uint32_t pid_base = 0);
 
 /**
  * The request is about to move from its current state to @p next.
  * Call immediately BEFORE assigning req.state. Ends the current
  * state's span; begins @p next's (terminal states instead emit an
- * instant so every begun span is ended).
+ * instant so every begun span is ended). @p pid_base as above.
  */
 void traceReqTransition(Tick ts, const ServiceRequest &req,
-                        ReqState next);
+                        ReqState next, std::uint32_t pid_base = 0);
 /** @} */
 
 } // namespace umany

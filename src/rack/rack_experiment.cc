@@ -1,6 +1,7 @@
 #include "rack/rack_experiment.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -8,8 +9,11 @@
 #include "driver/report.hh"
 #include "fault/injector.hh"
 #include "obs/attrib.hh"
+#include "obs/chrome_trace.hh"
 #include "obs/json.hh"
+#include "obs/sampler.hh"
 #include "obs/simprof.hh"
+#include "rack/rack_sampler.hh"
 #include "sim/logging.hh"
 #include "stats/metrics_registry.hh"
 #include "validate/invariants.hh"
@@ -66,6 +70,130 @@ runWithProgress(EventQueue &eq, Tick limit, double progress_sec)
                      eq.size());
         lastBeat = t;
     }
+}
+
+/** Split "pkgN.rest" into (N, rest); false when not pkg-scoped. */
+bool
+splitPkgStat(const std::string &name, std::uint32_t &pkg,
+             std::string &rest)
+{
+    if (name.compare(0, 3, "pkg") != 0)
+        return false;
+    std::size_t i = 3;
+    std::uint32_t n = 0;
+    while (i < name.size() &&
+           std::isdigit(static_cast<unsigned char>(name[i]))) {
+        n = n * 10 + static_cast<std::uint32_t>(name[i] - '0');
+        ++i;
+    }
+    if (i == 3 || i >= name.size() || name[i] != '.')
+        return false;
+    pkg = n;
+    rest = name.substr(i + 1);
+    return true;
+}
+
+/**
+ * The "rack" section spliced into the tail-profile JSON: packages
+ * ranked sickest-first — by rejected fraction, then P99.9 — with
+ * each package's hop split (LB-queueing vs fabric-transit) and its
+ * ledger components ranked over the retained tail captures. Under
+ * an injected PackageDown, worst_package names the dead package:
+ * its stranded roots give up as rejections, so the rejected
+ * fraction singles it out even though no completion recorded a slow
+ * latency there.
+ */
+std::string
+rackTailJson(RackSim &rack, const TailProfiler &prof)
+{
+    // Captures group by the package that ran them: rack request-id
+    // bases put the package index in bits 44+ of every root id.
+    const auto grouped = prof.groupedTail([](RequestId id) {
+        return static_cast<std::uint64_t>(id >> 44);
+    });
+
+    struct PkgRank
+    {
+        std::uint32_t pkg = 0;
+        double rejFrac = 0.0;
+        Tick p999 = 0;
+    };
+    std::vector<PkgRank> ranked;
+    ranked.reserve(rack.numPackages());
+    for (std::uint32_t p = 0; p < rack.numPackages(); ++p) {
+        ClusterSim &cs = rack.package(p);
+        PkgRank r;
+        r.pkg = p;
+        const std::uint64_t observed = cs.observedRoots();
+        r.rejFrac =
+            observed ? static_cast<double>(cs.rejectedRoots()) /
+                           static_cast<double>(observed)
+                     : 0.0;
+        r.p999 = cs.allLatency().quantile(0.999);
+        ranked.push_back(r);
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const PkgRank &a, const PkgRank &b) {
+        if (a.rejFrac != b.rejFrac)
+            return a.rejFrac > b.rejFrac;
+        return a.p999 > b.p999;
+    });
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("worst_package").value(
+        static_cast<std::uint64_t>(ranked.front().pkg));
+    w.key("packages").beginArray();
+    for (const PkgRank &r : ranked) {
+        ClusterSim &cs = rack.package(r.pkg);
+        w.beginObject();
+        w.key("package").value(static_cast<std::uint64_t>(r.pkg));
+        w.key("observed").value(cs.observedRoots());
+        w.key("completed").value(cs.completedRoots());
+        w.key("rejected").value(cs.rejectedRoots());
+        w.key("rejected_fraction").value(r.rejFrac);
+        w.key("latency_p999_us").value(toUs(r.p999));
+        w.key("lb_dispatches").value(rack.lbDispatches(r.pkg));
+        const Histogram &hq = rack.hopQueueTicks(r.pkg);
+        const Histogram &ht = rack.hopTransitTicks(r.pkg);
+        w.key("hop_queue_us").beginObject();
+        w.key("mean").value(hq.count() ? hq.mean() / tickPerUs
+                                       : 0.0);
+        w.key("p99").value(toUs(hq.p99()));
+        w.endObject();
+        w.key("hop_transit_us").beginObject();
+        w.key("mean").value(ht.count() ? ht.mean() / tickPerUs
+                                       : 0.0);
+        w.key("p99").value(toUs(ht.p99()));
+        w.endObject();
+        w.key("tail_components").beginArray();
+        const auto git = grouped.find(r.pkg);
+        if (git != grouped.end()) {
+            std::vector<std::pair<AttribComp, Tick>> comps;
+            comps.reserve(kNumAttribComps);
+            for (std::size_t i = 0; i < kNumAttribComps; ++i) {
+                comps.emplace_back(static_cast<AttribComp>(i),
+                                   git->second[i]);
+            }
+            std::stable_sort(comps.begin(), comps.end(),
+                             [](const auto &a, const auto &b) {
+                return a.second > b.second;
+            });
+            for (const auto &[c, ticks] : comps) {
+                if (ticks == 0)
+                    break;
+                w.beginObject();
+                w.key("component").value(attribCompName(c));
+                w.key("us").value(toUs(ticks));
+                w.endObject();
+            }
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
 }
 
 } // namespace
@@ -195,17 +323,22 @@ runRackExperiment(const ServiceCatalog &catalog,
                   StatsDump *stats_out, AttribResult *attrib_out)
 {
     const ExperimentConfig &base = cfg.base;
-    // Per-cluster observers don't compose with N packages sharing
-    // one trace/sample namespace; drop them loudly instead of
-    // producing a misleading artifact.
-    if (!base.obs.traceOut.empty())
-        warn("rack runs do not trace; ignoring --trace-out");
-    if (base.obs.sampleInterval > 0)
-        warn("rack runs do not sample; ignoring --sample-us");
     if (base.shards > 1) {
         warn("--shards=%u unavailable at rack scale (the LB "
              "serializes); running serial",
              static_cast<unsigned>(base.shards));
+    }
+
+    // Tracing is scoped to the run, as in runExperiment: the sink
+    // installs before the rack is built so every lifecycle event
+    // lands in it. Racked runs get a pid namespace below.
+    std::unique_ptr<TraceSink> sink;
+    std::unique_ptr<ScopedTrace> scope;
+    const bool tracing = !base.obs.traceOut.empty();
+    if (tracing) {
+        sink = std::make_unique<TraceSink>(base.obs.traceCapacity);
+        sink->setFilter(parseTraceFilter(base.obs.traceFilter));
+        scope = std::make_unique<ScopedTrace>(*sink);
     }
 
     std::unique_ptr<AttribRegistry> attrib;
@@ -237,6 +370,14 @@ runRackExperiment(const ServiceCatalog &catalog,
     if (machines.empty())
         machines.push_back(base.machine);
     RackSim rack(eq, catalog, machines, rp);
+    if (tracing && rack.numPackages() > 1) {
+        // Rack pid namespace: the exporter names package p's pid
+        // block "pkgP.serverS" and the rack-substrate pid (LB +
+        // fabric tracks) "rack". Inert racks keep stride 0 so a
+        // 1-package trace stays byte-identical to runExperiment's.
+        sink->setPidNamespace(rack.tracePidStride(),
+                              rack.numPackages());
+    }
     for (const auto &[ep, threshold] : base.qosThresholds)
         rack.setQosThreshold(ep, threshold);
     if (!base.faults.empty())
@@ -244,6 +385,23 @@ runRackExperiment(const ServiceCatalog &catalog,
 
     const std::uint16_t ext_part = static_cast<std::uint16_t>(
         rack.package(0).machine(0).numClusters());
+
+    // Sampling: the inert rack keeps the single-package Sampler
+    // (byte-identical series); a real rack samples per-package and
+    // fabric state through the rack-scale sampler.
+    std::unique_ptr<Sampler> sampler;
+    std::unique_ptr<RackSampler> rackSampler;
+    if (base.obs.sampleInterval > 0) {
+        if (rack.numPackages() == 1) {
+            sampler = std::make_unique<Sampler>(
+                eq, rack.package(0), base.obs.sampleInterval);
+            sampler->start(base.warmup + base.measure);
+        } else {
+            rackSampler = std::make_unique<RackSampler>(
+                eq, rack, base.obs.sampleInterval);
+            rackSampler->start(base.warmup + base.measure);
+        }
+    }
 
     LoadGenParams lp;
     lp.rps = base.rpsPerServer *
@@ -282,6 +440,9 @@ runRackExperiment(const ServiceCatalog &catalog,
     invariants.clearAuditors();
 #endif
 
+    if (tracing)
+        writeChromeTrace(*sink, base.obs.traceOut);
+
     if (simprof) {
         eq.setProfiler(nullptr);
         simprof->finalize();
@@ -309,8 +470,18 @@ runRackExperiment(const ServiceCatalog &catalog,
     if (attributing) {
         const ServiceNamer namer = catalogNamer(catalog);
         if (!base.obs.tailProfile.empty()) {
-            writeTextFile(base.obs.tailProfile,
-                          attrib->profiler().toJson(namer));
+            if (rack.numPackages() > 1) {
+                // Racked: splice the per-package ranking in so the
+                // profile answers "which package is slow" too.
+                writeTextFile(
+                    base.obs.tailProfile,
+                    attrib->profiler().toJson(
+                        namer, "rack",
+                        rackTailJson(rack, attrib->profiler())));
+            } else {
+                writeTextFile(base.obs.tailProfile,
+                              attrib->profiler().toJson(namer));
+            }
         }
         if (attrib_out != nullptr) {
             attrib_out->enabled = true;
@@ -341,8 +512,61 @@ runRackExperiment(const ServiceCatalog &catalog,
 
     if (!base.obs.metricsOut.empty()) {
         MetricsRegistry reg;
-        for (const StatEntry &e : stats.entries())
-            reg.gauge(e.name, e.desc, e.value);
+        if (rack.numPackages() == 1) {
+            // Inert rack: the flat export, byte-identical to
+            // runExperiment's.
+            for (const StatEntry &e : stats.entries())
+                reg.gauge(e.name, e.desc, e.value);
+        } else {
+            // Racked: package-scoped stats become one series per
+            // metric with a package="N" label (so per-package
+            // series sum to the rack aggregates below), and the
+            // LB's per-replica selection counts export as labeled
+            // counters tagged with the policy that made them.
+            const std::string policy =
+                dispatchKindName(rp.replica.kind);
+            for (const StatEntry &e : stats.entries()) {
+                std::uint32_t pkg = 0;
+                std::string rest;
+                if (splitPkgStat(e.name, pkg, rest)) {
+                    reg.gauge(rest, e.desc, e.value,
+                              {{"package", strprintf("%u", pkg)}});
+                } else if (e.name.compare(0, 11, "rack.lb.pkg") ==
+                           0) {
+                    // Re-emitted below as a labeled counter.
+                } else {
+                    reg.gauge(e.name, e.desc, e.value);
+                }
+            }
+            for (std::uint32_t p = 0; p < rack.numPackages(); ++p) {
+                reg.counter(
+                    "rack.lb.dispatches",
+                    "Roots the LB dispatched to this package",
+                    static_cast<double>(rack.lbDispatches(p)),
+                    {{"package", strprintf("%u", p)},
+                     {"policy", policy}});
+            }
+            reg.counter("rack.lb.sheds",
+                        "Roots shed at the LB (all replicas down)",
+                        static_cast<double>(rack.lbShedRoots()),
+                        {{"policy", policy}});
+            reg.counter(
+                "rack.lb.failovers",
+                "Dispatches that routed around a down replica",
+                static_cast<double>(rack.failovers()),
+                {{"policy", policy}});
+            reg.counter("rack.roots.observed",
+                        "Roots observed rack-wide (LB sheds "
+                        "included)",
+                        static_cast<double>(rack.observedRoots()));
+            reg.counter("rack.roots.completed",
+                        "Roots completed rack-wide",
+                        static_cast<double>(rack.completedRoots()));
+            reg.counter("rack.roots.rejected",
+                        "Roots rejected rack-wide (LB sheds "
+                        "included)",
+                        static_cast<double>(rack.rejectedRoots()));
+        }
         for (const ServiceId ep : catalog.endpoints()) {
             reg.summary("endpoint_latency_us",
                         "End-to-end root latency by endpoint",
@@ -381,7 +605,12 @@ runRackExperiment(const ServiceCatalog &catalog,
         w.key("drained").value(drained);
         w.key("metrics").raw(metricsJson(metrics));
         w.key("stats").raw(stats.formatJson());
-        w.key("samples").null();
+        if (sampler)
+            w.key("samples").raw(sampler->toJson());
+        else if (rackSampler)
+            w.key("samples").raw(rackSampler->toJson());
+        else
+            w.key("samples").null();
         w.endObject();
         writeTextFile(base.obs.statsJson, w.str());
     }
@@ -405,6 +634,38 @@ runRackExperiment(const ServiceCatalog &catalog,
             static_cast<unsigned long long>(rack.failovers()),
             static_cast<unsigned long long>(
                 rack.net().messages()));
+        if (sink) {
+            std::fprintf(
+                stderr,
+                "[run-summary] trace: %llu recorded, %llu "
+                "dropped%s\n",
+                static_cast<unsigned long long>(sink->recorded()),
+                static_cast<unsigned long long>(sink->dropped()),
+                sink->dropped() > 0
+                    ? " (truncated; raise trace capacity)"
+                    : "");
+            if (sink->dropped() > 0) {
+                std::fprintf(
+                    stderr,
+                    "[run-summary] trace drops by track: %s\n",
+                    traceDropBreakdown(*sink).c_str());
+            }
+        }
+        if (sampler || rackSampler) {
+            std::fprintf(stderr,
+                         "[run-summary] sampler: %zu samples\n",
+                         sampler ? sampler->samples().size()
+                                 : rackSampler->samples().size());
+        }
+        if (attrib) {
+            std::fprintf(stderr,
+                         "[run-summary] attrib: %llu roots, %llu "
+                         "ledger mismatches\n",
+                         static_cast<unsigned long long>(
+                             attrib->rootsObserved()),
+                         static_cast<unsigned long long>(
+                             attrib->ledgerMismatches()));
+        }
     }
     return metrics;
 }

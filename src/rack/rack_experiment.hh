@@ -29,8 +29,10 @@ struct RackExperimentConfig
      * (FaultKind::PackageDown/Up target packages; everything else
      * forwards to every package), and observability. Parallel-DES
      * sharding is unavailable at rack scale (the LB serializes);
-     * shards > 1 warns and runs serial. Tracing and sampling are
-     * per-cluster observers and are ignored with a warning.
+     * shards > 1 warns and runs serial. Tracing namespaces each
+     * package's pids (pkgN.serverM) and adds LB/fabric tracks;
+     * sampling uses the rack-scale sampler (rack/rack_sampler.hh)
+     * when packages > 1.
      */
     ExperimentConfig base;
     /** Rack shape and LB policy. rack.cluster is overwritten from

@@ -69,7 +69,7 @@ RackNet::RackNet(const RackNetParams &p) : p_(p)
 
 Tick
 RackNet::send(std::uint32_t src, std::uint32_t dst,
-              std::uint32_t nbytes, Tick now)
+              std::uint32_t nbytes, Tick now, Tick *queue_out)
 {
     if (src >= egressFree_.size() || dst >= ingressFree_.size())
         panic("rack send %u -> %u out of range", src, dst);
@@ -86,7 +86,18 @@ RackNet::send(std::uint32_t src, std::uint32_t dst,
     // Ingress occupancy, then receive-side overhead.
     const Tick rx_done = std::max(arrive, ingressFree_[dst]) + ser;
     ingressFree_[dst] = rx_done;
-    return rx_done + p_.perEndOverhead;
+    // The message occupies one egress and one ingress port for a
+    // serialization time each (utilization accounting).
+    busyTicks_ += 2 * ser;
+    const Tick done = rx_done + p_.perEndOverhead;
+    if (queue_out != nullptr) {
+        // Unloaded delivery: both overheads, both serializations,
+        // and propagation — everything above that is queueing.
+        const Tick unloaded =
+            2 * p_.perEndOverhead + 2 * ser + p_.oneWayLatency;
+        *queue_out = done - now - unloaded;
+    }
+    return done;
 }
 
 } // namespace umany

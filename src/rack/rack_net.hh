@@ -76,14 +76,26 @@ class RackNet
 
     /**
      * Deliver @p bytes from @p src to @p dst starting at @p now.
+     * When @p queue_out is non-null it receives the queueing share
+     * of the delivery: total time minus what the same message would
+     * take on idle links (the LB-queueing vs fabric-transit split
+     * the tail profiler reports).
      * @return Delivery tick at the destination (after the receive
      *         end's overhead).
      */
     Tick send(std::uint32_t src, std::uint32_t dst,
-              std::uint32_t bytes, Tick now);
+              std::uint32_t bytes, Tick now,
+              Tick *queue_out = nullptr);
 
     std::uint64_t messages() const { return messages_; }
     std::uint64_t bytes() const { return bytes_; }
+    /** Link-busy ticks summed over every egress+ingress port. */
+    std::uint64_t busyTicks() const { return busyTicks_; }
+    /** Occupiable ports (one egress + one ingress per node). */
+    std::uint32_t linkCount() const
+    {
+        return 2 * (p_.numPackages + 1);
+    }
 
   private:
     RackNetParams p_;
@@ -91,6 +103,7 @@ class RackNet
     std::vector<Tick> ingressFree_;
     std::uint64_t messages_ = 0;
     std::uint64_t bytes_ = 0;
+    std::uint64_t busyTicks_ = 0;
 };
 
 } // namespace umany

@@ -1,5 +1,6 @@
 #include "rack/rack_sim.hh"
 
+#include "obs/trace.hh"
 #include "sched/request.hh"
 #include "sim/logging.hh"
 #include "validate/invariants.hh"
@@ -45,6 +46,10 @@ RackSim::RackSim(EventQueue &eq, const ServiceCatalog &catalog,
     }
 
     const bool racked = p_.packages > 1;
+    if (racked) {
+        pidStride_ = p_.cluster.numServers;
+        rackPid_ = pidStride_ * p_.packages;
+    }
     pkgs_.reserve(p_.packages);
     for (std::uint32_t pkg = 0; pkg < p_.packages; ++pkg) {
         ClusterSimParams cp = p_.cluster;
@@ -60,6 +65,9 @@ RackSim::RackSim(EventQueue &eq, const ServiceCatalog &catalog,
             // Below the parallel-DES lane bits (48); the rack layer
             // is serial-only so they never combine anyway.
             cp.idBase = static_cast<RequestId>(pkg) << 44;
+            // Disjoint trace pid block per package; the Chrome
+            // exporter names pid p*stride+s "pkgP.serverS".
+            cp.tracePidBase = pkg * pidStride_;
         }
         const MachineParams &mp =
             machines.size() == 1 ? machines[0] : machines[pkg];
@@ -81,6 +89,8 @@ RackSim::RackSim(EventQueue &eq, const ServiceCatalog &catalog,
     alive_.assign(p_.packages, true);
     inflight_.assign(p_.packages, 0);
     lbDispatches_.assign(p_.packages, 0);
+    hopQueueTicks_.resize(p_.packages);
+    hopTransitTicks_.resize(p_.packages);
     extPart_ = static_cast<std::uint16_t>(
         pkgs_[0]->machine(0).numClusters());
 
@@ -128,6 +138,11 @@ RackSim::setPackageDown(std::uint32_t pkg, bool down)
         fatal("package fault targets package %u of %zu", pkg,
               alive_.size());
     alive_[pkg] = !down;
+    if (pkgs_.size() > 1) {
+        UMANY_TRACE(TraceSink::active()->instant(
+            eq_.now(), rackPid_, traceLbTrack,
+            down ? "pkg.down" : "pkg.up", pkg));
+    }
 }
 
 void
@@ -157,6 +172,9 @@ RackSim::submitRoot(ServiceId endpoint)
             // front door (counted as an observed rejection).
             if (recording_)
                 ++lbShedRoots_;
+            UMANY_TRACE(TraceSink::active()->instant(
+                eq_.now(), rackPid_, traceLbTrack, "lb.shed",
+                endpoint));
             return;
         }
         if (skipped && recording_)
@@ -179,10 +197,29 @@ RackSim::submitRoot(ServiceId endpoint)
     ++lbDispatches_[pkg];
     ++inflight_[pkg];
     const Tick now = eq_.now();
-    const Tick arrive =
-        net_->send(net_->lbNode(), pkg, kRootReqBytes, now);
+    Tick req_queue = 0;
+    const Tick arrive = net_->send(net_->lbNode(), pkg,
+                                   kRootReqBytes, now, &req_queue);
     const std::uint64_t ctx = nextCtx_++;
-    ctxs_.emplace(ctx, PendingRoot{now, arrive, pkg, endpoint});
+    ctxs_.emplace(ctx,
+                  PendingRoot{now, arrive, req_queue, pkg, endpoint});
+    UMANY_TRACE({
+        // The LB's view of the root: one lb.root span covering
+        // dispatch to response, a dispatch marker naming the chosen
+        // package, and the request-direction stitch into it. The
+        // fabric hop shows as its own span so link queueing is
+        // visible as span stretch.
+        TraceSink *s = TraceSink::active();
+        s->spanBegin(now, rackPid_, traceLbTrack, "lb.root", ctx);
+        s->instant(now, rackPid_, traceLbTrack, "lb.dispatch", ctx,
+                   static_cast<double>(pkg));
+        s->flowStart(now, rackPid_, traceLbTrack, "rack.req",
+                     traceRackReqFlowBit | ctx);
+        s->spanBegin(now, rackPid_, traceFabricTrack, "fabric.req",
+                     traceRackReqFlowBit | ctx);
+        s->spanEnd(arrive, rackPid_, traceFabricTrack, "fabric.req",
+                   traceRackReqFlowBit | ctx);
+    });
     eq_.schedule(arrive, EvTag{EvSrc::NetExternal, extPart_},
                  [this, pkg, endpoint, ctx]() {
         pkgs_[pkg]->submitRoot(endpoint, ctx);
@@ -209,20 +246,54 @@ RackSim::onRootDone(std::uint32_t pkg, ServiceRequest *req,
     if (req == nullptr) {
         // Recovery give-up: the client timed out; nothing crosses
         // the rack network back.
+        UMANY_TRACE({
+            TraceSink *s = TraceSink::active();
+            s->instant(eq_.now(), rackPid_, traceLbTrack,
+                       "lb.giveup", ctx);
+            s->spanEnd(eq_.now(), rackPid_, traceLbTrack, "lb.root",
+                       ctx);
+        });
         return info;
     }
     const Tick now = eq_.now();
     // The response crosses back to the LB (rejections answer too),
     // occupying the package's egress link.
-    const Tick back =
-        net_->send(pkg, net_->lbNode(), kRootRespBytes, now);
+    Tick resp_queue = 0;
+    const Tick back = net_->send(pkg, net_->lbNode(), kRootRespBytes,
+                                 now, &resp_queue);
     const Tick ingress = pending.submitAt - pending.lbArrival;
     const Tick egress = back - now;
     info.hopTicks = ingress + egress;
     info.latency = pkg_latency + info.hopTicks;
     info.clientStart = pending.lbArrival;
-    if (completed && recording_)
+    const Tick hop_queue = pending.reqQueue + resp_queue;
+    if (completed && recording_) {
         pkgHopTicks_.add(info.hopTicks);
+        hopQueueTicks_[pkg].add(hop_queue);
+        hopTransitTicks_[pkg].add(info.hopTicks - hop_queue);
+    }
+    UMANY_TRACE({
+        // Stitch the response back: the arrow leaves the root's
+        // final span inside the package and lands on the LB's
+        // lb.root span, which closes when the response is home.
+        TraceSink *s = TraceSink::active();
+        const std::uint32_t src_pid =
+            pkg * pidStride_ +
+            (req->server == invalidId ? 0 : req->server);
+        const std::uint64_t src_tid =
+            req->village == invalidId
+                ? 0
+                : traceVillageTrack(req->village);
+        s->flowStart(now, src_pid, src_tid, "rack.resp",
+                     traceRackRespFlowBit | ctx);
+        s->spanBegin(now, rackPid_, traceFabricTrack, "fabric.resp",
+                     traceRackRespFlowBit | ctx);
+        s->spanEnd(back, rackPid_, traceFabricTrack, "fabric.resp",
+                   traceRackRespFlowBit | ctx);
+        s->flowEnd(back, rackPid_, traceLbTrack, "rack.resp",
+                   traceRackRespFlowBit | ctx);
+        s->spanEnd(back, rackPid_, traceLbTrack, "lb.root", ctx);
+    });
     return info;
 }
 

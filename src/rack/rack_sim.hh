@@ -109,6 +109,18 @@ class RackSim
     }
     /** Inter-package hop ticks per completed rack root. */
     const Histogram &pkgHopTicks() const { return pkgHopTicks_; }
+    /** Queueing share of the hop (link contention at either end),
+     *  per completed root dispatched to @p pkg. */
+    const Histogram &hopQueueTicks(std::uint32_t pkg) const
+    {
+        return hopQueueTicks_[pkg];
+    }
+    /** Unloaded-transit share of the hop (overheads, serialization,
+     *  propagation), per completed root dispatched to @p pkg. */
+    const Histogram &hopTransitTicks(std::uint32_t pkg) const
+    {
+        return hopTransitTicks_[pkg];
+    }
     /** LB's current in-flight count per package (the po2c/jsqd
      *  occupancy signal). */
     std::uint64_t inflight(std::uint32_t pkg) const
@@ -136,6 +148,10 @@ class RackSim
     {
         return static_cast<std::uint32_t>(pkgs_.size());
     }
+    /** Trace pids per package block (0 when the rack is inert). */
+    std::uint32_t tracePidStride() const { return pidStride_; }
+    /** Trace pid of the rack substrate (LB + fabric tracks). */
+    std::uint32_t rackTracePid() const { return rackPid_; }
     ClusterSim &package(std::uint32_t p) { return *pkgs_[p]; }
     const RackNet &net() const { return *net_; }
     const RackPlacement &placement() const { return *placement_; }
@@ -148,6 +164,7 @@ class RackSim
     {
         Tick lbArrival = 0; //!< When the root reached the LB.
         Tick submitAt = 0;  //!< When it enters its package.
+        Tick reqQueue = 0;  //!< Queueing share of the request hop.
         std::uint32_t pkg = 0;
         ServiceId endpoint = 0;
     };
@@ -169,8 +186,16 @@ class RackSim
     std::uint64_t lbShedRoots_ = 0;
     std::uint64_t failovers_ = 0;
     Histogram pkgHopTicks_;
+    std::vector<Histogram> hopQueueTicks_;
+    std::vector<Histogram> hopTransitTicks_;
     bool recording_ = true;
     std::uint16_t extPart_ = evPartNone;
+    /** Trace pid layout (racked runs only): package p owns pids
+     *  [p*pidStride_, (p+1)*pidStride_); the LB and fabric tracks
+     *  live on the rack-substrate pid one block past the last
+     *  package. 0 when the rack layer is inert. */
+    std::uint32_t pidStride_ = 0;
+    std::uint32_t rackPid_ = 0;
 
     ClusterSim::RackRootInfo onRootDone(std::uint32_t pkg,
                                         ServiceRequest *req,
